@@ -1,0 +1,56 @@
+//! Ablation bench: statevector gate-application kernels.
+//!
+//! DESIGN.md design-choice #2: `qsim` applies single-qubit gates with a
+//! specialized stride kernel instead of building the full 2ⁿ×2ⁿ unitary.
+//! This bench shows the gap (the full-matrix route exists on
+//! `DensityMatrix::apply_gate1`, which must embed the gate), and the
+//! scaling of the specialized kernel with qubit count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsim::{gates, DensityMatrix, StateVector};
+use std::hint::black_box;
+
+fn bench_gate_application(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_application");
+
+    for n in [4usize, 8, 12, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("statevector_stride_kernel", n),
+            &n,
+            |b, &n| {
+                let mut s = StateVector::zero(n);
+                b.iter(|| {
+                    s.apply_gate1(n / 2, &gates::h()).expect("in range");
+                    black_box(s.amplitude(0))
+                })
+            },
+        );
+    }
+
+    for n in [4usize, 6, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("density_full_embedding", n),
+            &n,
+            |b, &n| {
+                let mut rho = DensityMatrix::maximally_mixed(n);
+                b.iter(|| {
+                    rho.apply_gate1(n / 2, &gates::h()).expect("in range");
+                    black_box(rho.trace())
+                })
+            },
+        );
+    }
+
+    group.bench_function("bell_pair_construction", |b| {
+        b.iter(|| black_box(qsim::bell::phi_plus()))
+    });
+
+    group.bench_function("ghz_8_construction", |b| {
+        b.iter(|| black_box(qsim::bell::ghz(8)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_gate_application);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation bench: XOR-game quantum-value solvers.
+//!
+//! DESIGN.md design-choice #1: alternating exact half-steps vs projected
+//! gradient over the elliptope. Accuracy agreement is tested in
+//! `games::xor`; this bench measures the speed gap on CHSH and on random
+//! 5-input games (the Figure 3 workload).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use games::{AffinityGraph, XorGame};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn random_5v_game(seed: u64) -> XorGame {
+    let mut rng = StdRng::seed_from_u64(seed);
+    AffinityGraph::random(5, 0.5, &mut rng).to_xor_game(true)
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xor_quantum_value");
+
+    group.bench_function("alternating_chsh", |b| {
+        let game = XorGame::chsh();
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(game.quantum_solution(8, &mut rng).value))
+    });
+
+    group.bench_function("pgd_chsh", |b| {
+        let game = XorGame::chsh();
+        b.iter(|| black_box(game.quantum_bias_pgd(300)))
+    });
+
+    group.bench_function("alternating_5v_graph", |b| {
+        let game = random_5v_game(7);
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(game.quantum_solution(8, &mut rng).value))
+    });
+
+    group.bench_function("pgd_5v_graph", |b| {
+        let game = random_5v_game(7);
+        b.iter(|| black_box(game.quantum_bias_pgd(300)))
+    });
+
+    group.bench_function("classical_exact_5v", |b| {
+        let game = random_5v_game(7);
+        b.iter(|| black_box(game.classical_value()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! `repro` — regenerate every figure and quantitative claim of the paper.
+//!
+//! ```text
+//! repro <experiment> [--quick]
+//! repro all [--quick]
+//! repro list
+//! ```
+//!
+//! Experiments (see DESIGN.md §4 for the full index):
+//!
+//! | name             | paper exhibit                                   |
+//! |------------------|--------------------------------------------------|
+//! | chsh             | §2 CHSH/GHZ values (E3)                          |
+//! | fig3             | Figure 3: XOR-game advantage probability (E1)    |
+//! | fig3-vertices    | Figure 3 caption: scaling with vertices (E1b)    |
+//! | fig4             | Figure 4: queue length vs load (E2)              |
+//! | fig4-scaling     | E2b: N-independence at fixed N/M                 |
+//! | fig4-disciplines | E2c: footnote-2 robustness                       |
+//! | ecmp             | §4.2 reduction + conjecture search (E4)          |
+//! | timing           | Figure 2: decision latency (E5)                  |
+//! | noise            | §3 error margins: visibility/storage (E6)        |
+//! | hybrid           | §4.1 caveat: dedicated-server baseline (E7)      |
+
+use qnlg_bench::experiments;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let names: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    let Some(&first) = names.first() else {
+        eprintln!("usage: repro <experiment|all|list> [--quick]");
+        eprintln!("experiments: {}", experiments::ALL.join(", "));
+        return ExitCode::FAILURE;
+    };
+
+    match first {
+        "list" => {
+            for name in experiments::ALL {
+                println!("{name}");
+            }
+            ExitCode::SUCCESS
+        }
+        "all" => {
+            for name in experiments::ALL {
+                println!("================================================================");
+                match experiments::run(name, quick) {
+                    Some(report) => println!("{report}"),
+                    None => unreachable!("ALL only lists known experiments"),
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            let mut ok = true;
+            for name in names {
+                match experiments::run(name, quick) {
+                    Some(report) => println!("{report}"),
+                    None => {
+                        eprintln!(
+                            "unknown experiment '{name}'; valid: {}",
+                            experiments::ALL.join(", ")
+                        );
+                        ok = false;
+                    }
+                }
+            }
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

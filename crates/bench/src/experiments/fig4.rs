@@ -1,0 +1,232 @@
+//! Experiment E2: Figure 4 — average queue length vs system load N/M for
+//! classical and quantum load balancing, plus the paper's two robustness
+//! claims: E2b (results depend on the ratio N/M, not N itself) and E2c
+//! (footnote 2: the advantage is robust to other server disciplines).
+
+use crate::table::{f2, Table};
+use loadbalance::metrics::knee_load;
+use loadbalance::server::Discipline;
+use loadbalance::sim::{run_simulation, SimConfig};
+use loadbalance::strategy::Strategy;
+use loadbalance::task::BernoulliWorkload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+fn strategies() -> Vec<(&'static str, Strategy)> {
+    vec![
+        ("uniform-random", Strategy::UniformRandom),
+        ("round-robin", Strategy::RoundRobin),
+        ("power-of-two", Strategy::PowerOfTwoChoices),
+        ("paired-split", Strategy::PairedAlwaysSplit),
+        ("paired-match", Strategy::PairedMatchTypes),
+        ("paired-quantum", Strategy::quantum_ideal()),
+    ]
+}
+
+fn sim_point(
+    n_balancers: usize,
+    load: f64,
+    timesteps: u64,
+    discipline: Discipline,
+    strategy: Strategy,
+    seed: u64,
+) -> f64 {
+    let n_servers = (n_balancers as f64 / load).round() as usize;
+    let config = SimConfig {
+        n_balancers,
+        n_servers,
+        timesteps,
+        warmup: timesteps / 4,
+        discipline,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut workload = BernoulliWorkload::paper();
+    run_simulation(config, strategy, &mut workload, &mut rng).avg_queue_len
+}
+
+/// The Figure 4 sweep: N = 100 balancers, load 0.6–1.5.
+pub fn run(quick: bool) -> String {
+    let (n, steps) = if quick { (40, 600) } else { (100, 3_000) };
+    let loads: Vec<f64> = (6..=15).map(|i| i as f64 / 10.0).collect();
+    let strategies = strategies();
+
+    let lock = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for (si, (_, strategy)) in strategies.iter().enumerate() {
+            for (li, &load) in loads.iter().enumerate() {
+                let lock = &lock;
+                let strategy = *strategy;
+                scope.spawn(move || {
+                    let q = sim_point(
+                        n,
+                        load,
+                        steps,
+                        Discipline::PaperPairedC,
+                        strategy,
+                        crate::point_seed(40, si as u64, li as u64),
+                    );
+                    lock.lock().expect("sweep lock").push((si, li, q));
+                });
+            }
+        }
+    });
+    let mut cells = vec![vec![0.0f64; loads.len()]; strategies.len()];
+    for (si, li, q) in lock.into_inner().expect("sweep lock") {
+        cells[si][li] = q;
+    }
+
+    let mut header: Vec<String> = vec!["strategy \\ N/M".into()];
+    header.extend(loads.iter().map(|l| format!("{l:.1}")));
+    let mut t = Table::new(header);
+    for (si, (name, _)) in strategies.iter().enumerate() {
+        let mut row = vec![name.to_string()];
+        row.extend(cells[si].iter().map(|&q| f2(q)));
+        t.row(row);
+    }
+
+    // Knee summary: first load where the average queue exceeds 10 tasks
+    // (clearly saturating; small thresholds trigger on pre-knee noise).
+    let mut knees = String::new();
+    for (si, (name, _)) in strategies.iter().enumerate() {
+        let pts: Vec<(f64, f64)> = loads.iter().copied().zip(cells[si].iter().copied()).collect();
+        let knee = knee_load(&pts, 10.0)
+            .map(|k| format!("{k:.1}"))
+            .unwrap_or_else(|| "> 1.5".into());
+        knees.push_str(&format!("  {name:<16} knee (queue > 10) at N/M = {knee}\n"));
+    }
+
+    format!(
+        "E2 — Figure 4: avg queue length vs load N/M (N = {n}, {steps} steps)\n\n{}\n{knees}",
+        t.render()
+    )
+}
+
+/// E2b: "the results depend primarily on the ratio N/M and remain largely
+/// consistent as N varies."
+pub fn run_scaling(quick: bool) -> String {
+    let steps = if quick { 600 } else { 3_000 };
+    let ns: &[usize] = if quick { &[20, 60, 100] } else { &[20, 60, 100, 200] };
+    let loads = [1.0, 1.2];
+    let strategies = [
+        ("uniform-random", Strategy::UniformRandom),
+        ("paired-quantum", Strategy::quantum_ideal()),
+    ];
+
+    let mut header: Vec<String> = vec!["strategy @ load".into()];
+    header.extend(ns.iter().map(|n| format!("N={n}")));
+    let mut t = Table::new(header);
+
+    let lock = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for (si, (_, strategy)) in strategies.iter().enumerate() {
+            for (li, &load) in loads.iter().enumerate() {
+                for (ni, &n) in ns.iter().enumerate() {
+                    let lock = &lock;
+                    let strategy = *strategy;
+                    scope.spawn(move || {
+                        let q = sim_point(
+                            n,
+                            load,
+                            steps,
+                            Discipline::PaperPairedC,
+                            strategy,
+                            crate::point_seed(41, (si * 2 + li) as u64, ni as u64),
+                        );
+                        lock.lock().expect("sweep lock").push((si, li, ni, q));
+                    });
+                }
+            }
+        }
+    });
+    let mut cells = vec![vec![vec![0.0f64; ns.len()]; loads.len()]; strategies.len()];
+    for (si, li, ni, q) in lock.into_inner().expect("sweep lock") {
+        cells[si][li][ni] = q;
+    }
+    for (si, (name, _)) in strategies.iter().enumerate() {
+        for (li, load) in loads.iter().enumerate() {
+            let mut row = vec![format!("{name} @ {load:.1}")];
+            row.extend(cells[si][li].iter().map(|&q| f2(q)));
+            t.row(row);
+        }
+    }
+    format!(
+        "E2b — queue length vs N at fixed N/M (ratio, not N, drives the result)\n\n{}",
+        t.render()
+    )
+}
+
+/// E2c (footnote 2): is the quantum advantage robust to other server
+/// execution strategies? Only within the paper's discipline family — see
+/// EXPERIMENTS.md. The advantage requires C-priority AND C-pairing
+/// *together*: under that combination a split CC pair blocks type-E
+/// service at two servers while a co-located CC blocks only one (and is
+/// cleared in a single step). Remove pairing (`c-priority-single`) or
+/// remove priority (`fifo-paired-c`) and engineered co-arrival only
+/// concentrates load, slightly *hurting*. `single-slot` is the control
+/// with no type structure at all (no difference, as expected).
+pub fn run_disciplines(quick: bool) -> String {
+    let (n, steps) = if quick { (40, 600) } else { (100, 3_000) };
+    let load = 1.2;
+    let disciplines = [
+        Discipline::PaperPairedC,
+        Discipline::CPrioritySingle,
+        Discipline::FifoPairedC,
+        Discipline::ExclusiveFirst,
+        Discipline::SingleSlot,
+    ];
+    let mut t = Table::new(vec!["discipline", "classical q̄", "quantum q̄", "reduction"]);
+    for (di, d) in disciplines.iter().enumerate() {
+        let c = sim_point(n, load, steps, *d, Strategy::UniformRandom, crate::point_seed(42, di as u64, 0));
+        let q = sim_point(n, load, steps, *d, Strategy::quantum_ideal(), crate::point_seed(42, di as u64, 1));
+        let red = if c > 0.0 { format!("{:.0}%", 100.0 * (1.0 - q / c)) } else { "-".into() };
+        t.row(vec![d.label().to_string(), f2(c), f2(q), red]);
+    }
+    format!(
+        "E2c — footnote 2: advantage across server disciplines \
+         (load {load}, N = {n}; single-slot is the no-co-location control)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantum_knee_is_later_than_classical() {
+        // The Figure 4 headline, quick budget.
+        let loads = [1.0, 1.1, 1.2];
+        let mut classical = Vec::new();
+        let mut quantum = Vec::new();
+        for (i, &load) in loads.iter().enumerate() {
+            classical.push((
+                load,
+                sim_point(40, load, 600, Discipline::PaperPairedC, Strategy::UniformRandom, crate::point_seed(99, i as u64, 0)),
+            ));
+            quantum.push((
+                load,
+                sim_point(40, load, 600, Discipline::PaperPairedC, Strategy::quantum_ideal(), crate::point_seed(99, i as u64, 1)),
+            ));
+        }
+        let ck = knee_load(&classical, 2.0);
+        let qk = knee_load(&quantum, 2.0);
+        // Classical crosses at or before quantum (quantum may not cross at
+        // all in this range).
+        match (ck, qk) {
+            (Some(c), Some(q)) => assert!(c <= q, "classical {c} vs quantum {q}"),
+            (Some(_), None) => {} // quantum never crossed: even better
+            other => panic!("unexpected knees: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_slot_control_shows_no_quantum_benefit() {
+        // Without a co-location benefit, pairing C's together is useless:
+        // quantum and classical should be within noise of each other.
+        let c = sim_point(40, 0.9, 800, Discipline::SingleSlot, Strategy::UniformRandom, 7);
+        let q = sim_point(40, 0.9, 800, Discipline::SingleSlot, Strategy::quantum_ideal(), 8);
+        let rel = (c - q).abs() / c.max(1e-9);
+        assert!(rel < 0.35, "single-slot classical {c} vs quantum {q}");
+    }
+}

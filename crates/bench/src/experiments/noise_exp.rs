@@ -1,0 +1,142 @@
+//! Experiment E6: the §3 error-margin caveat, quantified.
+//!
+//! Three ablations: (a) CHSH win probability vs Werner visibility — the
+//! advantage dies exactly at v = 1/√2; (b) the end-to-end Figure 4 effect
+//! of degraded visibility and finite pair availability; (c) QNIC storage
+//! time vs CHSH value (a pair held for time t suffers dephasing
+//! (1 − e^{−t/τ})/2 per half).
+
+use crate::table::{f2, f4, Table};
+use games::chsh::{ChshGame, QuantumChshStrategy};
+use games::game::empirical_win_rate;
+use games::ChshVariant;
+use loadbalance::server::Discipline;
+use loadbalance::sim::{run_simulation, SimConfig};
+use loadbalance::strategy::{QuantumMode, Strategy};
+use loadbalance::task::BernoulliWorkload;
+use qsim::noise::{werner, KrausChannel, WERNER_CHSH_THRESHOLD};
+use qsim::SharedPair;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the noise ablations.
+pub fn run(quick: bool) -> String {
+    let mut out = String::new();
+    let mut rng = StdRng::seed_from_u64(crate::point_seed(6, 0, 0));
+
+    // (a) CHSH vs visibility.
+    let rounds = if quick { 20_000 } else { 200_000 };
+    let mut t = Table::new(vec!["visibility", "CHSH win prob", "theory", "advantage?"]);
+    for v in [1.0, 0.9, 0.8, WERNER_CHSH_THRESHOLD, 0.6, 0.5] {
+        let mut s = QuantumChshStrategy::with_source(
+            move || SharedPair::werner(v).expect("valid visibility"),
+            ChshVariant::Standard,
+        );
+        let rate = empirical_win_rate(&ChshGame::standard(), &mut s, rounds, &mut rng);
+        let theory = 0.5 + v * std::f64::consts::SQRT_2 / 4.0;
+        t.row(vec![
+            f4(v),
+            f4(rate),
+            f4(theory),
+            (if rate > 0.75 { "yes" } else { "NO" }).to_string(),
+        ]);
+    }
+    out.push_str(&format!(
+        "E6a — CHSH vs Werner visibility ({rounds} rounds/point; threshold 1/√2 ≈ 0.7071)\n\n{}\n",
+        t.render()
+    ));
+
+    // (b) End-to-end: Figure 4 point at load 1.2 under degraded hardware.
+    let (n, steps) = if quick { (40, 600) } else { (100, 3_000) };
+    let load = 1.2;
+    let run_point = |strategy: Strategy, seed: u64| -> f64 {
+        let config = SimConfig {
+            n_balancers: n,
+            n_servers: (n as f64 / load).round() as usize,
+            timesteps: steps,
+            warmup: steps / 4,
+            discipline: Discipline::PaperPairedC,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        run_simulation(config, strategy, &mut BernoulliWorkload::paper(), &mut rng)
+            .avg_queue_len
+    };
+    let classical = run_point(Strategy::UniformRandom, crate::point_seed(6, 1, 0));
+    let split = run_point(Strategy::PairedAlwaysSplit, crate::point_seed(6, 1, 1));
+    let mut t = Table::new(vec!["configuration", "avg queue @ load 1.2"]);
+    t.row(vec!["classical uniform-random".to_string(), f2(classical)]);
+    t.row(vec!["classical paired-split".to_string(), f2(split)]);
+    for (vi, v) in [1.0, 0.9, 0.8, WERNER_CHSH_THRESHOLD, 0.5].iter().enumerate() {
+        let q = run_point(
+            Strategy::PairedQuantum {
+                mode: QuantumMode::FastSampling,
+                availability: 1.0,
+                visibility: *v,
+            },
+            crate::point_seed(6, 2, vi as u64),
+        );
+        t.row(vec![format!("quantum, visibility {v:.3}"), f2(q)]);
+    }
+    for (ai, a) in [0.9, 0.7, 0.5].iter().enumerate() {
+        let q = run_point(
+            Strategy::PairedQuantum {
+                mode: QuantumMode::FastSampling,
+                availability: *a,
+                visibility: 1.0,
+            },
+            crate::point_seed(6, 3, ai as u64),
+        );
+        t.row(vec![format!("quantum, availability {a:.1}"), f2(q)]);
+    }
+    out.push_str(&format!(
+        "E6b — end-to-end load balancing under degraded hardware (N = {n})\n\n{}\n",
+        t.render()
+    ));
+
+    // (c) Storage-time ablation: hold both halves for t, play CHSH.
+    let rounds_c = if quick { 5_000 } else { 50_000 };
+    let tau = 100e-6; // 100 µs QNIC memory lifetime (§3)
+    let mut t = Table::new(vec!["hold time / τ", "CHSH win prob", "advantage?"]);
+    for ratio in [0.0, 0.1, 0.25, 0.5, 1.0, 2.0] {
+        let held = ratio * tau;
+        let ch = KrausChannel::storage_decay(held, tau).expect("valid params");
+        // Build the decohered pair once; clone per round.
+        let rho0 = werner(1.0).expect("valid");
+        let rho = ch.apply(&rho0, 0).expect("qubit 0");
+        let rho = ch.apply(&rho, 1).expect("qubit 1");
+        let mut s = QuantumChshStrategy::with_source(
+            move || SharedPair::from_density(rho.clone()).expect("two qubits"),
+            ChshVariant::Standard,
+        );
+        let rate = empirical_win_rate(&ChshGame::standard(), &mut s, rounds_c, &mut rng);
+        t.row(vec![
+            format!("{ratio:.2}"),
+            f4(rate),
+            (if rate > 0.755 {
+                "yes"
+            } else if rate > 0.745 {
+                "marginal"
+            } else {
+                "NO"
+            })
+            .to_string(),
+        ]);
+    }
+    out.push_str(&format!(
+        "E6c — QNIC storage decoherence (τ = 100 µs, dephasing on both halves, \
+         {rounds_c} rounds/point)\n\n{}",
+        t.render()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn threshold_visible_in_report() {
+        let out = super::run(true);
+        // Visibility 0.5 must show NO advantage; visibility 1.0 must show yes.
+        assert!(out.contains("NO"), "{out}");
+        assert!(out.contains("yes"), "{out}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Experiment E5: the Figure 2 timing argument — decision latency with
+//! pre-shared entanglement vs classical coordination, with the
+//! availability number coming from an actual simulated distribution
+//! pipeline (SPDC source → fiber → QNIC buffers).
+
+use crate::table::Table;
+use qnet::{
+    DecisionLatencyModel, DistributorConfig, EntanglementDistributor, SimTime,
+};
+use qnet::timing::run_timing_experiment;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Runs the timing experiment.
+pub fn run(quick: bool) -> String {
+    let inputs = if quick { 5_000 } else { 100_000 };
+    let mut rng = StdRng::seed_from_u64(crate::point_seed(5, 0, 0));
+
+    // First, measure real pair availability from the pipeline at a
+    // demanding decision rate (one decision per 20 µs ≈ 50k/s against a
+    // 100k pairs/s source).
+    let mut dist = EntanglementDistributor::new(DistributorConfig::typical(), &mut rng);
+    let mut now = SimTime::ZERO;
+    let step = Duration::from_micros(20);
+    let decisions = if quick { 2_000 } else { 20_000 };
+    for _ in 0..decisions {
+        now += step;
+        let _ = dist.take_pair(now, &mut rng);
+    }
+    let availability = dist.stats().availability();
+
+    let rtt_dc = Duration::from_micros(50); // intra-datacenter RTT
+    let rtt_cross = Duration::from_millis(1); // cross-AZ RTT
+    let models = [
+        DecisionLatencyModel::LocalRandom,
+        DecisionLatencyModel::QuantumPreShared { availability },
+        DecisionLatencyModel::ClassicalCoordinate { rtt: rtt_dc },
+        DecisionLatencyModel::ClassicalCoordinate { rtt: rtt_cross },
+        DecisionLatencyModel::CentralScheduler {
+            rtt: rtt_dc,
+            scheduler_delay: Duration::from_micros(20),
+        },
+    ];
+
+    let mut t = Table::new(vec![
+        "model",
+        "mean latency",
+        "p99 latency",
+        "coordinated",
+    ]);
+    for m in models {
+        let r = run_timing_experiment(m, inputs, Duration::from_micros(20), &mut rng);
+        let label = match m {
+            DecisionLatencyModel::ClassicalCoordinate { rtt } if rtt == rtt_cross => {
+                "classical-rtt (cross-AZ)".to_string()
+            }
+            DecisionLatencyModel::ClassicalCoordinate { .. } => {
+                "classical-rtt (intra-DC)".to_string()
+            }
+            _ => r.model.to_string(),
+        };
+        t.row(vec![
+            label,
+            format!("{:?}", r.mean_latency),
+            format!("{:?}", r.p99_latency),
+            format!("{:.1}%", 100.0 * r.coordinated_fraction),
+        ]);
+    }
+
+    format!(
+        "E5 — Figure 2: decision latency (pairs pre-shared by a simulated \
+         SPDC pipeline; measured availability {:.1}% at 50k decisions/s)\n\n{}\n\
+         The quantum model coordinates {:.1}% of decisions at ZERO added \
+         latency;\nevery classical coordination scheme pays ≥ 1 RTT.\n",
+        availability * 100.0,
+        t.render(),
+        availability * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quantum_row_has_zero_latency_and_high_availability() {
+        let out = super::run(true);
+        assert!(out.contains("quantum-preshared"));
+        assert!(out.contains("0ns") || out.contains("0s"), "{out}");
+    }
+}

@@ -1,0 +1,67 @@
+//! # qnlg-core — coordination-without-communication primitives
+//!
+//! The paper's concluding vision (§5): package quantum non-local games as
+//! "system-level abstractions that systems designers can adopt without
+//! needing to understand the underlying quantum mechanics." This crate is
+//! that abstraction layer.
+//!
+//! ## The model
+//!
+//! Two (or more) spatially-separated endpoints each hold a handle. When an
+//! input arrives at an endpoint, it calls [`Endpoint::decide`] with *its
+//! own input only* and gets a decision bit back **immediately** — no
+//! network round trip (Fig. 2). The bits of the endpoints in the same
+//! round are *correlated* according to the configured game:
+//!
+//! - [`ColocationCoordinator`] — the flipped CHSH game of §4.1: decision
+//!   bits agree (→ same server) with probability cos²(π/8) ≈ 0.854 exactly
+//!   when both inputs are "co-locate", and disagree with the same
+//!   probability otherwise. The best classical coordinator gets 0.75.
+//! - [`AffinityCoordinator`] — the general XOR-game version for ≥ 2 task
+//!   classes on an [`games::AffinityGraph`]: the optimal quantum strategy
+//!   is solved once at build time (§4.1 "a polynomial-time algorithm
+//!   exists"), then sampled per round.
+//! - [`ParityCoordinator`] — the n-party Mermin-game primitive: on
+//!   even-weight input rounds, the parties' output parity tracks a
+//!   function of their joint inputs *with certainty*, versus a classical
+//!   ceiling of `1/2 + 2^{−⌈n/2⌉}` — the advantage grows with n (§4.1).
+//!
+//! In production the correlation would come from entangled photon pairs
+//! streamed by the Fig. 1 source; in this library it comes from
+//! [`qsim`]'s exact simulation (or the statistically-identical closed
+//! form). The *interface* — decide locally, now, with no knowledge of the
+//! peer's input — is the same, and the no-signaling property is enforced
+//! by construction and verified by tests.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use qnlg_core::{CoordinatorBuilder, TaskClass};
+//!
+//! let pair = CoordinatorBuilder::new().seed(7).build_colocation();
+//! let (alice, bob) = pair.endpoints();
+//!
+//! // Each endpoint decides locally, instantly:
+//! let a = alice.decide(TaskClass::Colocate);
+//! let b = bob.decide(TaskClass::Colocate);
+//! // With both inputs Colocate, a == b (same server) ~85% of rounds.
+//! let _ = (a, b);
+//! ```
+
+pub mod coordinator;
+pub mod error;
+pub mod parity;
+
+pub use coordinator::{
+    AffinityCoordinator, ColocationCoordinator, CoordinatorBuilder, Endpoint, TaskClass,
+};
+pub use error::CoreError;
+pub use parity::{ParityCoordinator, ParityEndpoint};
+
+// Re-export the layers beneath for users who need to reach in.
+pub use ecmp;
+pub use games;
+pub use loadbalance;
+pub use qmath;
+pub use qnet;
+pub use qsim;

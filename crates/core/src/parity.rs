@@ -1,0 +1,284 @@
+//! N-party parity coordination: the Mermin game as a system primitive.
+//!
+//! §4.1 notes that XOR games "have also been extended to more than two
+//! players, corresponding to scenarios with more than two load balancers,
+//! where the advantage is larger than in the two-party case." The
+//! n-player Mermin game is the extreme case: sharing a GHZ state, the
+//! parties can make their output bits' **parity** track a function of
+//! their joint inputs *perfectly*, while the best classical scheme
+//! succeeds with probability only `1/2 + 2^{−⌈n/2⌉}` (§ refs [12, 31]).
+//!
+//! Contract: in each round every endpoint calls
+//! [`ParityEndpoint::decide`] with its local input bit. If the round's
+//! inputs have **even weight** (the Mermin promise), the XOR of all
+//! output bits equals `(weight mod 4)/2` with certainty. Individual
+//! outputs remain uniformly random — no endpoint learns anything about
+//! the others.
+//!
+//! The referee implementation samples the exact GHZ X/Y measurement
+//! statistics in arrival order: every party's marginal is an unbiased
+//! coin (no-signaling), and the final arrival's bit closes the parity —
+//! cross-validated against the full statevector simulation in
+//! `games::multiparty`.
+
+use crate::error::CoreError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::coordinator::MAX_ROUND_AHEAD;
+
+struct Round {
+    /// Per-party (input, output) once decided.
+    outcome: Vec<Option<(bool, bool)>>,
+}
+
+struct Inner {
+    n: usize,
+    rng: StdRng,
+    rounds: VecDeque<Round>,
+    base: u64,
+    cursor: Vec<u64>,
+}
+
+impl Inner {
+    fn decide(&mut self, party: usize, input: bool) -> Result<bool, CoreError> {
+        let min_cursor = self.cursor.iter().copied().min().expect("n ≥ 2");
+        let ahead = self.cursor[party].saturating_sub(min_cursor) as usize;
+        if ahead >= MAX_ROUND_AHEAD {
+            return Err(CoreError::RoundOverrun { ahead });
+        }
+        let idx = self.cursor[party];
+        self.cursor[party] += 1;
+        while self.base + (self.rounds.len() as u64) <= idx {
+            self.rounds.push_back(Round {
+                outcome: vec![None; self.n],
+            });
+        }
+        let slot = (idx - self.base) as usize;
+        let round = &mut self.rounds[slot];
+        debug_assert!(round.outcome[party].is_none(), "cursor guarantees fresh");
+
+        let undecided = round.outcome.iter().filter(|o| o.is_none()).count();
+        let bit = if undecided > 1 {
+            // Not the last arrival: GHZ X/Y marginals are uniform coins.
+            self.rng.gen::<bool>()
+        } else {
+            // Last arrival: close the parity per the GHZ statistics.
+            let mut weight = usize::from(input);
+            let mut parity = false;
+            for o in round.outcome.iter().flatten() {
+                weight += usize::from(o.0);
+                parity ^= o.1;
+            }
+            if weight % 2 == 0 {
+                // Promise satisfied: total parity = (weight mod 4)/2.
+                let target = weight % 4 == 2;
+                parity ^ target
+            } else {
+                // Promise violated: GHZ gives uniform parity (the X/Y
+                // string with odd Y-count has zero GHZ expectation).
+                self.rng.gen::<bool>()
+            }
+        };
+        round.outcome[party] = Some((input, bit));
+        // GC fully-consumed front rounds.
+        let min_cursor = self.cursor.iter().copied().min().expect("n ≥ 2");
+        while self.base < min_cursor
+            && self
+                .rounds
+                .front()
+                .is_some_and(|r| r.outcome.iter().all(Option::is_some))
+        {
+            self.rounds.pop_front();
+            self.base += 1;
+        }
+        Ok(bit)
+    }
+}
+
+/// An n-party parity coordinator backed by (simulated) GHZ states.
+pub struct ParityCoordinator {
+    inner: Arc<Mutex<Inner>>,
+    n: usize,
+}
+
+impl ParityCoordinator {
+    /// Builds a coordinator for `n ≥ 2` parties with a deterministic seed.
+    ///
+    /// # Panics
+    /// Panics if `n < 2`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n >= 2, "parity coordination needs at least two parties");
+        ParityCoordinator {
+            inner: Arc::new(Mutex::new(Inner {
+                n,
+                rng: StdRng::seed_from_u64(seed),
+                rounds: VecDeque::new(),
+                base: 0,
+                cursor: vec![0; n],
+            })),
+            n,
+        }
+    }
+
+    /// The endpoint handles, one per party.
+    pub fn endpoints(&self) -> Vec<ParityEndpoint> {
+        (0..self.n)
+            .map(|party| ParityEndpoint {
+                inner: Arc::clone(&self.inner),
+                party,
+            })
+            .collect()
+    }
+
+    /// Number of parties.
+    pub fn n_parties(&self) -> usize {
+        self.n
+    }
+
+    /// The classical ceiling this primitive beats:
+    /// `1/2 + 2^{−⌈n/2⌉}`.
+    pub fn classical_ceiling(&self) -> f64 {
+        games::multiparty::mermin_classical_bound(self.n)
+    }
+}
+
+/// One party's handle on a [`ParityCoordinator`].
+pub struct ParityEndpoint {
+    inner: Arc<Mutex<Inner>>,
+    party: usize,
+}
+
+impl ParityEndpoint {
+    /// Decides this round's bit from the local input only (zero latency).
+    /// When the round's inputs have even weight, the XOR of all parties'
+    /// bits equals `(weight mod 4)/2` with certainty.
+    ///
+    /// # Errors
+    /// [`CoreError::RoundOverrun`] if this endpoint runs too far ahead of
+    /// the slowest peer.
+    pub fn decide(&self, input: bool) -> Result<bool, CoreError> {
+        self.inner
+            .lock()
+            .expect("parity coordinator lock poisoned")
+            .decide(self.party, input)
+    }
+
+    /// This endpoint's party index.
+    pub fn party(&self) -> usize {
+        self.party
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use games::multiparty::{mermin_inputs, mermin_wins};
+
+    #[test]
+    fn perfect_parity_on_even_weight_inputs() {
+        for n in [3usize, 4, 5] {
+            let coord = ParityCoordinator::new(n, 7);
+            let eps = coord.endpoints();
+            let inputs = mermin_inputs(n);
+            for round in 0..400 {
+                let x = &inputs[round % inputs.len()];
+                let outs: Vec<bool> = eps
+                    .iter()
+                    .zip(x)
+                    .map(|(e, &xi)| e.decide(xi == 1).expect("in lockstep"))
+                    .collect();
+                assert!(
+                    mermin_wins(x, &outs),
+                    "n = {n}, round {round}: lost on {x:?} → {outs:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn beats_classical_ceiling_by_construction() {
+        let coord = ParityCoordinator::new(5, 1);
+        assert!((coord.classical_ceiling() - 0.625).abs() < 1e-12);
+        // Quantum rate is exactly 1 on the promise (previous test); the
+        // ceiling is what classical schemes top out at.
+        assert!(1.0 > coord.classical_ceiling());
+    }
+
+    #[test]
+    fn outputs_are_marginally_uniform() {
+        let coord = ParityCoordinator::new(3, 2);
+        let eps = coord.endpoints();
+        let inputs = mermin_inputs(3);
+        let mut ones = vec![0usize; 3];
+        let rounds = 6000;
+        for round in 0..rounds {
+            let x = &inputs[round % inputs.len()];
+            for (p, (e, &xi)) in eps.iter().zip(x).enumerate() {
+                ones[p] += usize::from(e.decide(xi == 1).expect("lockstep"));
+            }
+        }
+        for (p, o) in ones.iter().enumerate() {
+            let f = *o as f64 / rounds as f64;
+            assert!((f - 0.5).abs() < 0.03, "party {p} marginal {f}");
+        }
+    }
+
+    #[test]
+    fn arrival_order_does_not_matter() {
+        // Parties decide in rotating order; parity still perfect.
+        let coord = ParityCoordinator::new(4, 3);
+        let eps = coord.endpoints();
+        let inputs = mermin_inputs(4);
+        for round in 0..200 {
+            let x = &inputs[round % inputs.len()];
+            let mut outs = vec![false; 4];
+            for k in 0..4 {
+                let p = (round + k) % 4;
+                outs[p] = eps[p].decide(x[p] == 1).expect("lockstep");
+            }
+            assert!(mermin_wins(x, &outs), "round {round}");
+        }
+    }
+
+    #[test]
+    fn promise_violation_gives_uniform_parity() {
+        // Odd-weight inputs: the parity must be a fair coin, not stuck.
+        let coord = ParityCoordinator::new(3, 4);
+        let eps = coord.endpoints();
+        let rounds = 4000;
+        let mut odd_parity = 0usize;
+        for _ in 0..rounds {
+            let x = [true, false, false]; // weight 1: promise violated
+            let outs: Vec<bool> = eps
+                .iter()
+                .zip(&x)
+                .map(|(e, &xi)| e.decide(xi).expect("lockstep"))
+                .collect();
+            odd_parity += usize::from(outs.iter().fold(false, |a, &b| a ^ b));
+        }
+        let f = odd_parity as f64 / rounds as f64;
+        assert!((f - 0.5).abs() < 0.03, "violated-promise parity rate {f}");
+    }
+
+    #[test]
+    fn overrun_guard() {
+        let coord = ParityCoordinator::new(2, 5);
+        let eps = coord.endpoints();
+        for _ in 0..MAX_ROUND_AHEAD {
+            eps[0].decide(false).expect("below the cap");
+        }
+        assert!(matches!(
+            eps[0].decide(false),
+            Err(CoreError::RoundOverrun { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two parties")]
+    fn one_party_rejected() {
+        ParityCoordinator::new(1, 0);
+    }
+}

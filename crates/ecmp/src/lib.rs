@@ -1,0 +1,38 @@
+//! # ecmp — Equal-Cost Multi-Path routing and the paper's negative result
+//!
+//! §4.2 of the paper: `N` switches route over `M < N` paths; only an
+//! unknown subset of switches is active at any moment, and no switch knows
+//! which others are active. Could shared entanglement reduce path
+//! collisions below classical randomization?
+//!
+//! The paper proves a *partial impossibility*: by the no-signaling
+//! principle, any party that receives no packet can be assumed (WLOG) to
+//! measure its qubit first, reducing the global entangled state to a
+//! mixture of states over the active subset — so `N`-way entanglement
+//! offers nothing beyond `M`-way. It further conjectures that no quantum
+//! advantage exists for ECMP at all.
+//!
+//! This crate verifies both numerically:
+//!
+//! - [`reduction`]: checks, to machine precision, that the joint outcome
+//!   distribution of the active parties is invariant under the inactive
+//!   party's behaviour (measure in any basis, or not at all) — the exact
+//!   content of the no-signaling reduction.
+//! - [`search`]: searches over quantum strategies (GHZ / W / random
+//!   states, arbitrary per-switch measurement bases) for the small
+//!   instances and shows none beats the classical optimum — and, for the
+//!   2-of-N-on-2-paths family, proves the classical bound by a pigeonhole
+//!   argument that applies to *any* joint output distribution, quantum or
+//!   not.
+//! - [`model`] / [`strategy`]: the ECMP collision simulator with classical
+//!   and quantum strategies.
+
+pub mod model;
+pub mod reduction;
+pub mod search;
+pub mod strategy;
+
+pub use model::{CollisionStats, EcmpScenario};
+pub use reduction::reduction_deviation;
+pub use search::{classical_optimum_two_active, pigeonhole_lower_bound};
+pub use strategy::EcmpStrategy;

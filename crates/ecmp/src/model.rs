@@ -1,0 +1,166 @@
+//! The ECMP scenario: N switches, M paths, K active.
+
+use crate::strategy::EcmpStrategy;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// An ECMP routing scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct EcmpScenario {
+    /// Total switches N.
+    pub n_switches: usize,
+    /// Available paths M.
+    pub n_paths: usize,
+    /// Active switches per round K (the subset is drawn uniformly and is
+    /// unknown to every switch).
+    pub n_active: usize,
+}
+
+impl EcmpScenario {
+    /// Builds a scenario.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ n_active ≤ n_switches` and `n_paths ≥ 2`.
+    pub fn new(n_switches: usize, n_paths: usize, n_active: usize) -> Self {
+        assert!(n_paths >= 2, "need at least two paths");
+        assert!(
+            (1..=n_switches).contains(&n_active),
+            "active count out of range"
+        );
+        EcmpScenario {
+            n_switches,
+            n_paths,
+            n_active,
+        }
+    }
+
+    /// The paper's minimal instance: 3 switches, 2 paths, 2 active.
+    pub fn minimal() -> Self {
+        EcmpScenario::new(3, 2, 2)
+    }
+}
+
+/// Collision statistics from a Monte-Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollisionStats {
+    /// Probability that at least two active switches picked the same path.
+    pub collision_probability: f64,
+    /// Expected number of colliding (non-unique-path) active switches.
+    pub mean_colliding_switches: f64,
+    /// Expected maximum per-path load among active switches.
+    pub mean_max_path_load: f64,
+    /// Rounds simulated.
+    pub rounds: usize,
+}
+
+/// Runs `rounds` rounds: draw a random active subset, let the strategy
+/// pick paths, record collisions.
+///
+/// # Panics
+/// Panics if `rounds == 0`.
+pub fn run_rounds<S, R>(
+    scenario: EcmpScenario,
+    strategy: &mut S,
+    rounds: usize,
+    rng: &mut R,
+) -> CollisionStats
+where
+    S: EcmpStrategy + ?Sized,
+    R: Rng,
+{
+    assert!(rounds > 0, "need at least one round");
+    let mut any_collision = 0usize;
+    let mut colliding_switches = 0usize;
+    let mut max_load_sum = 0usize;
+    let mut ids: Vec<usize> = (0..scenario.n_switches).collect();
+    let mut loads = vec![0usize; scenario.n_paths];
+
+    for _ in 0..rounds {
+        ids.shuffle(rng);
+        let active = &ids[..scenario.n_active];
+        let choices = strategy.choose_paths(scenario, active, rng);
+        debug_assert_eq!(choices.len(), active.len());
+
+        loads.iter_mut().for_each(|l| *l = 0);
+        for &p in &choices {
+            debug_assert!(p < scenario.n_paths);
+            loads[p] += 1;
+        }
+        let max_load = loads.iter().copied().max().unwrap_or(0);
+        let colliding: usize = loads.iter().filter(|&&l| l > 1).sum();
+        any_collision += usize::from(max_load > 1);
+        colliding_switches += colliding;
+        max_load_sum += max_load;
+    }
+
+    CollisionStats {
+        collision_probability: any_collision as f64 / rounds as f64,
+        mean_colliding_switches: colliding_switches as f64 / rounds as f64,
+        mean_max_path_load: max_load_sum as f64 / rounds as f64,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{IidRandom, SharedPermutation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn iid_random_collision_two_of_three_on_two_paths() {
+        // Two active switches, two paths, independent fair coins:
+        // collision probability 1/2.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = IidRandom;
+        let stats = run_rounds(EcmpScenario::minimal(), &mut s, 50_000, &mut rng);
+        assert!(
+            (stats.collision_probability - 0.5).abs() < 0.01,
+            "collision {}",
+            stats.collision_probability
+        );
+    }
+
+    #[test]
+    fn shared_permutation_achieves_classical_optimum() {
+        // Balanced fixed assignment of 3 switches to 2 paths: exactly one
+        // pair shares a path → collision probability 1/3.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = SharedPermutation::new(3, 2, &mut rng);
+        let stats = run_rounds(EcmpScenario::minimal(), &mut s, 60_000, &mut rng);
+        assert!(
+            (stats.collision_probability - 1.0 / 3.0).abs() < 0.01,
+            "collision {}",
+            stats.collision_probability
+        );
+    }
+
+    #[test]
+    fn enough_paths_enable_zero_collisions() {
+        // N = M with a shared permutation: every switch owns a path.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = SharedPermutation::new(4, 4, &mut rng);
+        let sc = EcmpScenario::new(4, 4, 3);
+        let stats = run_rounds(sc, &mut s, 5_000, &mut rng);
+        assert_eq!(stats.collision_probability, 0.0);
+        assert_eq!(stats.mean_max_path_load, 1.0);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut s = IidRandom;
+        let sc = EcmpScenario::new(8, 4, 4);
+        let stats = run_rounds(sc, &mut s, 10_000, &mut rng);
+        assert!(stats.collision_probability > 0.0);
+        assert!(stats.mean_max_path_load >= 1.0);
+        assert!(stats.mean_colliding_switches <= 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "active count out of range")]
+    fn too_many_active_panics() {
+        EcmpScenario::new(3, 2, 4);
+    }
+}

@@ -1,0 +1,59 @@
+//! # games — quantum non-local games
+//!
+//! The theory layer of the reproduction: two-player XOR games (the class
+//! the paper maps load balancing onto, §4.1), the CHSH game as the
+//! canonical instance, multiparty GHZ/Mermin games, and the quantum-value
+//! solvers that replace the paper's use of the Toqito Python package.
+//!
+//! ## Structure
+//!
+//! - [`game`]: referee framework — input distributions, win predicates,
+//!   and Monte-Carlo evaluation of arbitrary strategies.
+//! - [`chsh`]: the CHSH game with the paper's exact optimal angles
+//!   (θ_A ∈ {0, π/4}, θ_B ∈ {π/8, −π/8}), plus the *flipped* variant used
+//!   for load balancing (win iff `a⊕b = ¬(x∧y)`).
+//! - [`xor`]: general two-player XOR games; classical value by exact
+//!   brute force, quantum value by Tsirelson's vector characterization
+//!   (alternating optimization + an independent projected-gradient SDP
+//!   cross-check).
+//! - [`correlation`]: quantum correlation "boxes" — joint conditional
+//!   distributions `p(a,b|x,y)` with uniform marginals realized by an
+//!   entangled strategy; includes no-signaling verification and the
+//!   CHSH/Tsirelson operator value.
+//! - [`multiparty`]: the 3-player GHZ (Mermin) game, where the quantum win
+//!   probability is 1 vs classical 0.75.
+//! - [`graph`]: random edge-labeled affinity graphs and their conversion
+//!   to XOR games (the Figure 3 experiment).
+
+pub mod chsh;
+pub mod family;
+pub mod correlation;
+pub mod game;
+pub mod graph;
+pub mod multiparty;
+pub mod xor;
+
+pub use chsh::{ChshGame, ChshVariant};
+pub use correlation::CorrelationBox;
+pub use game::{PairStrategy, TwoPlayerGame};
+pub use graph::AffinityGraph;
+pub use xor::{QuantumSolution, XorGame};
+
+/// The classical optimum of the CHSH game.
+pub const CHSH_CLASSICAL_VALUE: f64 = 0.75;
+
+/// The quantum optimum of the CHSH game, `cos²(π/8) ≈ 0.8536`
+/// (Tsirelson's bound).
+pub fn chsh_quantum_value() -> f64 {
+    (std::f64::consts::FRAC_PI_8).cos().powi(2)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn chsh_quantum_value_matches_half_plus_sqrt2_over_4() {
+        // cos²(π/8) = 1/2 + √2/4
+        let v = super::chsh_quantum_value();
+        assert!((v - (0.5 + std::f64::consts::SQRT_2 / 4.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,321 @@
+//! Multiparty non-local games: the 3-player GHZ (Mermin) game.
+//!
+//! The paper notes (§4.1) that XOR games "have also been extended to more
+//! than two players, corresponding to scenarios with more than two
+//! load balancers, where the advantage is larger than in the two-party
+//! case". The GHZ game is the canonical example: the quantum strategy wins
+//! with probability **1**, versus a classical optimum of 0.75.
+//!
+//! Rules: the referee draws inputs `(x, y, z)` uniformly from
+//! `{000, 011, 101, 110}` (even parity); players answer bits `a, b, c`
+//! and win iff `a ⊕ b ⊕ c = x ∨ y ∨ z`.
+//!
+//! Quantum strategy: share a GHZ state; on input 0 measure in the X basis,
+//! on input 1 in the Y basis. The GHZ state is a +1 eigenstate of `X⊗X⊗X`
+//! and a −1 eigenstate of `X⊗Y⊗Y` (and permutations), which makes the win
+//! condition hold with certainty.
+
+use qmath::C64;
+use qsim::measure::Basis1;
+use qsim::SharedState;
+use rand::Rng;
+
+/// The four valid GHZ-game input triples (even parity).
+pub const GHZ_INPUTS: [(u8, u8, u8); 4] = [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0)];
+
+/// The GHZ-game win predicate: `a ⊕ b ⊕ c = x ∨ y ∨ z`.
+pub fn ghz_wins(inputs: (u8, u8, u8), outputs: (bool, bool, bool)) -> bool {
+    let (x, y, z) = inputs;
+    let target = (x | y | z) == 1;
+    (outputs.0 ^ outputs.1 ^ outputs.2) == target
+}
+
+/// The X measurement basis `{|+⟩, |−⟩}`.
+pub fn x_basis() -> Basis1 {
+    Basis1::angle(std::f64::consts::FRAC_PI_4)
+}
+
+/// The Y measurement basis `{(|0⟩+i|1⟩)/√2, (|0⟩−i|1⟩)/√2}`.
+pub fn y_basis() -> Basis1 {
+    let f = std::f64::consts::FRAC_1_SQRT_2;
+    Basis1::new(
+        [C64::real(f), C64::new(0.0, f)],
+        [C64::real(f), C64::new(0.0, -f)],
+    )
+    .expect("orthonormal by construction")
+}
+
+/// Plays one round of the GHZ game with the optimal quantum strategy on a
+/// fresh GHZ state. Each party measures only its own qubit, in a basis
+/// determined only by its own input.
+pub fn play_quantum_round<R: Rng + ?Sized>(
+    inputs: (u8, u8, u8),
+    rng: &mut R,
+) -> (bool, bool, bool) {
+    let mut state = SharedState::ghz(3);
+    let ins = [inputs.0, inputs.1, inputs.2];
+    let mut outs = [false; 3];
+    for (party, (&input, out)) in ins.iter().zip(outs.iter_mut()).enumerate() {
+        let basis = if input == 0 { x_basis() } else { y_basis() };
+        *out = state
+            .measure(party, &basis, rng)
+            .expect("fresh state, party unmeasured")
+            == 1;
+    }
+    (outs[0], outs[1], outs[2])
+}
+
+/// The best classical (deterministic or shared-randomness) win probability
+/// for the GHZ game, computed by exhaustive search over all deterministic
+/// strategies: each player picks one of 4 response functions `{0,1}→{0,1}`.
+pub fn classical_optimum() -> f64 {
+    let mut best = 0.0f64;
+    // A response function maps input bit → output bit: 4 choices/player.
+    for fa in 0..4u8 {
+        for fb in 0..4u8 {
+            for fc in 0..4u8 {
+                let apply = |f: u8, input: u8| -> bool { (f >> input) & 1 == 1 };
+                let wins = GHZ_INPUTS
+                    .iter()
+                    .filter(|&&(x, y, z)| {
+                        ghz_wins((x, y, z), (apply(fa, x), apply(fb, y), apply(fc, z)))
+                    })
+                    .count();
+                best = best.max(wins as f64 / 4.0);
+            }
+        }
+    }
+    best
+}
+
+/// Runs `rounds` rounds of the quantum strategy, returning the empirical
+/// win rate (should be 1.0 up to simulator round-off).
+pub fn quantum_win_rate<R: Rng + ?Sized>(rounds: usize, rng: &mut R) -> f64 {
+    let mut wins = 0usize;
+    for i in 0..rounds {
+        let inputs = GHZ_INPUTS[i % 4];
+        let outputs = play_quantum_round(inputs, rng);
+        wins += usize::from(ghz_wins(inputs, outputs));
+    }
+    wins as f64 / rounds as f64
+}
+
+/// All even-parity input vectors for the n-player Mermin game.
+pub fn mermin_inputs(n: usize) -> Vec<Vec<u8>> {
+    assert!(n >= 2, "Mermin game needs at least two players");
+    (0..1u32 << n)
+        .filter(|m| m.count_ones() % 2 == 0)
+        .map(|m| (0..n).map(|i| ((m >> i) & 1) as u8).collect())
+        .collect()
+}
+
+/// The n-player Mermin parity game win predicate: for an even-weight
+/// input vector `x`, the players win iff `⊕ᵢ aᵢ = (wt(x) mod 4) / 2` —
+/// output parity 0 when the input weight is ≡ 0 (mod 4), parity 1 when
+/// ≡ 2 (mod 4).
+pub fn mermin_wins(inputs: &[u8], outputs: &[bool]) -> bool {
+    let weight: u32 = inputs.iter().map(|&x| x as u32).sum();
+    debug_assert!(weight.is_multiple_of(2), "Mermin inputs have even parity");
+    let target = weight % 4 == 2;
+    let parity = outputs.iter().fold(false, |acc, &b| acc ^ b);
+    parity == target
+}
+
+/// Plays one round of the n-player Mermin game with the optimal quantum
+/// strategy: share GHZ(n); measure X on input 0, Y on input 1. The GHZ
+/// state is a `(−1)^{k/2}` eigenstate of any `X^{n−k}Y^{k}` string with
+/// even `k`, so the win is deterministic.
+pub fn play_mermin_quantum<R: Rng + ?Sized>(inputs: &[u8], rng: &mut R) -> Vec<bool> {
+    let n = inputs.len();
+    let mut state = SharedState::ghz(n);
+    inputs
+        .iter()
+        .enumerate()
+        .map(|(party, &x)| {
+            let basis = if x == 0 { x_basis() } else { y_basis() };
+            state
+                .measure(party, &basis, rng)
+                .expect("fresh state, party unmeasured")
+                == 1
+        })
+        .collect()
+}
+
+/// The exact classical optimum of the n-player Mermin game by brute force
+/// over all deterministic strategies (each player picks one of the four
+/// functions {0,1} → {0,1}).
+///
+/// # Panics
+/// Panics if `n > 10` (4ⁿ enumeration becomes unreasonable).
+pub fn mermin_classical_optimum(n: usize) -> f64 {
+    assert!(n <= 10, "brute force infeasible for n = {n}");
+    let inputs = mermin_inputs(n);
+    let mut best = 0usize;
+    // Strategy encoding: 2 bits per player (output on input 0, on input 1).
+    for strat in 0u64..(1 << (2 * n)) {
+        let wins = inputs
+            .iter()
+            .filter(|x| {
+                let outs: Vec<bool> = x
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &xi)| (strat >> (2 * i + xi as usize)) & 1 == 1)
+                    .collect();
+                mermin_wins(x, &outs)
+            })
+            .count();
+        best = best.max(wins);
+    }
+    best as f64 / inputs.len() as f64
+}
+
+/// The closed-form classical bound of the Mermin game:
+/// `1/2 + 2^{−⌈n/2⌉}` (Mermin 1990; the paper's refs [12, 31] discuss the
+/// growing multiparty gap).
+pub fn mermin_classical_bound(n: usize) -> f64 {
+    0.5 + 2f64.powi(-(n.div_ceil(2) as i32))
+}
+
+/// Empirical quantum win rate over `rounds` uniformly-drawn inputs
+/// (should be exactly 1).
+pub fn mermin_quantum_win_rate<R: Rng + ?Sized>(n: usize, rounds: usize, rng: &mut R) -> f64 {
+    let inputs = mermin_inputs(n);
+    let mut wins = 0usize;
+    for i in 0..rounds {
+        let x = &inputs[i % inputs.len()];
+        let outs = play_mermin_quantum(x, rng);
+        wins += usize::from(mermin_wins(x, &outs));
+    }
+    wins as f64 / rounds as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn classical_optimum_is_three_quarters() {
+        assert!((classical_optimum() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantum_strategy_wins_always() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let rate = quantum_win_rate(2000, &mut rng);
+        assert!(
+            (rate - 1.0).abs() < 1e-12,
+            "GHZ quantum strategy must be perfect, got {rate}"
+        );
+    }
+
+    #[test]
+    fn each_input_triple_wins_deterministically() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &inputs in &GHZ_INPUTS {
+            for _ in 0..200 {
+                let outputs = play_quantum_round(inputs, &mut rng);
+                assert!(ghz_wins(inputs, outputs), "lost on {inputs:?} → {outputs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_remain_random() {
+        // Perfection without determinism: each player's output is still an
+        // unbiased coin (the "free lunch" the paper's XOR framing gives).
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 4000;
+        let mut ones = [0usize; 3];
+        for i in 0..trials {
+            let (a, b, c) = play_quantum_round(GHZ_INPUTS[i % 4], &mut rng);
+            ones[0] += usize::from(a);
+            ones[1] += usize::from(b);
+            ones[2] += usize::from(c);
+        }
+        for (p, o) in ones.iter().enumerate() {
+            let f = *o as f64 / trials as f64;
+            assert!((f - 0.5).abs() < 0.03, "party {p} marginal {f}");
+        }
+    }
+
+    #[test]
+    fn y_basis_is_orthonormal() {
+        // Already validated by Basis1::new, but assert the construction
+        // doesn't silently change.
+        let b = y_basis();
+        let ip = b.phi0[0].conj() * b.phi1[0] + b.phi0[1].conj() * b.phi1[1];
+        assert!(ip.abs() < 1e-12);
+    }
+
+    #[test]
+    fn win_predicate_cases() {
+        assert!(ghz_wins((0, 0, 0), (false, false, false)));
+        assert!(!ghz_wins((0, 0, 0), (true, false, false)));
+        assert!(ghz_wins((0, 1, 1), (true, false, false)));
+        assert!(ghz_wins((1, 1, 0), (false, true, false)));
+        assert!(!ghz_wins((1, 0, 1), (true, true, false)));
+    }
+}
+
+#[cfg(test)]
+mod mermin_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn input_sets_have_even_parity_and_full_count() {
+        for n in 2..=6 {
+            let inputs = mermin_inputs(n);
+            assert_eq!(inputs.len(), 1 << (n - 1));
+            for x in &inputs {
+                assert_eq!(x.iter().map(|&b| b as u32).sum::<u32>() % 2, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn three_player_mermin_is_the_ghz_game() {
+        // The n=3 Mermin game and the GHZ_INPUTS game agree: weight-0
+        // inputs want parity 0, weight-2 inputs want parity 1.
+        assert!(mermin_wins(&[0, 0, 0], &[false, false, false]));
+        assert!(mermin_wins(&[0, 1, 1], &[true, false, false]));
+        assert!(!mermin_wins(&[1, 1, 0], &[false, false, false]));
+    }
+
+    #[test]
+    fn classical_optimum_matches_closed_form() {
+        for n in [2usize, 3, 4, 5, 6] {
+            let brute = mermin_classical_optimum(n);
+            let bound = mermin_classical_bound(n);
+            assert!(
+                (brute - bound).abs() < 1e-12,
+                "n = {n}: brute {brute} vs closed form {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantum_wins_always_up_to_six_players() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [3usize, 4, 5, 6] {
+            let rate = mermin_quantum_win_rate(n, 400, &mut rng);
+            assert!(
+                (rate - 1.0).abs() < 1e-12,
+                "n = {n}: quantum rate {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn multiparty_gap_grows_with_n() {
+        // Quantum is always 1; classical drops toward 1/2 — the paper's
+        // "the advantage is larger than in the two-party case".
+        let gap3 = 1.0 - mermin_classical_bound(3);
+        let gap5 = 1.0 - mermin_classical_bound(5);
+        let gap7 = 1.0 - mermin_classical_bound(7);
+        assert!(gap3 < gap5 && gap5 < gap7);
+    }
+}

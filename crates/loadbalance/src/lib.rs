@@ -1,0 +1,41 @@
+//! # loadbalance — quantum-assisted application-level load balancing (§4.1)
+//!
+//! Reproduces the paper's Figure 4 simulation and its ablations:
+//! `N` load balancers forward tasks to `M` servers each timestep. Type-C
+//! tasks benefit from co-location (a server runs two of them
+//! simultaneously); type-E tasks want isolation (served one at a time).
+//!
+//! The quantum strategy pairs load balancers; each pair uses pre-shared
+//! classical randomness to pick two candidate servers per round and the
+//! *flipped CHSH protocol* (`a ⊕ b = ¬(x ∧ y)`) to decide who goes where:
+//! same server exactly when both tasks are type-C — correctly 85.36% of
+//! the time, versus 75% for the best possible classical pairing.
+//!
+//! ## Modules
+//!
+//! - [`task`]: task types and workload generators (Bernoulli C/E as in the
+//!   paper, plus multi-subtype and bursty generators for the caveat
+//!   ablations).
+//! - [`server`]: server queue disciplines — the paper's
+//!   ("two type-C simultaneously first, then type-E one at a time") and
+//!   alternates for the footnote-2 robustness claim.
+//! - [`strategy`]: assignment strategies — uniform random, round-robin,
+//!   power-of-two-choices, classical pairings, dedicated-server hybrid,
+//!   and the quantum CHSH pairing (with exact-simulation and fast
+//!   closed-form sampling modes, plus finite pair availability).
+//! - [`sim`]: the timestep loop of Figure 4.
+//! - [`metrics`]: queue-length and waiting-time statistics.
+
+pub mod metrics;
+pub mod pipeline;
+pub mod server;
+pub mod sim;
+pub mod strategy;
+pub mod task;
+
+pub use metrics::SimResult;
+pub use server::{Discipline, Server};
+pub use pipeline::PipelinePairedQuantum;
+pub use sim::{run_simulation, run_simulation_with, SimConfig};
+pub use strategy::{AssignmentStrategy, PairDecision, QuantumMode, Strategy};
+pub use task::{Task, TaskType, Workload};

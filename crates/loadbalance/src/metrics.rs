@@ -1,0 +1,102 @@
+//! Simulation metrics.
+
+/// Aggregate result of one load-balancing simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Strategy label.
+    pub strategy: &'static str,
+    /// Load ratio N/M.
+    pub load: f64,
+    /// Mean queue length per server, time-averaged over the measurement
+    /// window (the Figure 4 y-axis).
+    pub avg_queue_len: f64,
+    /// Mean queueing delay (timesteps) of tasks served in the window.
+    pub avg_wait: f64,
+    /// Median queueing delay (timesteps) in the window.
+    pub p50_wait: f64,
+    /// 99th-percentile queueing delay (timesteps) in the window.
+    pub p99_wait: f64,
+    /// Largest queue observed in the window.
+    pub max_queue_len: usize,
+    /// Tasks served in the window.
+    pub served: u64,
+    /// Tasks generated in the window.
+    pub generated: u64,
+    /// Fraction of CC pair-rounds that co-located (quantum ≈ 0.854,
+    /// always-split = 0, match-types = 1). NaN for unpaired strategies.
+    pub cc_colocation_rate: f64,
+    /// Fraction of non-CC pair-rounds that split. NaN for unpaired
+    /// strategies.
+    pub split_rate: f64,
+}
+
+impl SimResult {
+    /// True if the system looks unstable (queues grew without bound
+    /// relative to the serve rate). A coarse indicator used by knee
+    /// detection.
+    pub fn is_saturated(&self) -> bool {
+        self.served + 2 * self.generated / 100 < self.generated
+    }
+}
+
+/// Percentile of a sample set (nearest-rank); NaN on empty input.
+pub fn percentile(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    debug_assert!((0.0..=1.0).contains(&q));
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1] as f64
+}
+
+/// Finds the knee of a (load, avg_queue_len) curve: the first load at
+/// which the queue length exceeds `threshold`. Returns `None` if the curve
+/// never crosses.
+pub fn knee_load(points: &[(f64, f64)], threshold: f64) -> Option<f64> {
+    points
+        .iter()
+        .find(|(_, q)| *q > threshold)
+        .map(|(load, _)| *load)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knee_detection() {
+        let curve = [(0.5, 0.1), (0.8, 0.4), (1.0, 1.5), (1.2, 9.0)];
+        assert_eq!(knee_load(&curve, 1.0), Some(1.0));
+        assert_eq!(knee_load(&curve, 100.0), None);
+        assert_eq!(knee_load(&[], 1.0), None);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s = [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        assert_eq!(percentile(&s, 0.5), 5.0);
+        assert_eq!(percentile(&s, 0.99), 10.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert!(percentile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn saturation_heuristic() {
+        let mut r = SimResult {
+            strategy: "x",
+            load: 1.0,
+            avg_queue_len: 0.0,
+            avg_wait: 0.0,
+            p50_wait: 0.0,
+            p99_wait: 0.0,
+            max_queue_len: 0,
+            served: 1000,
+            generated: 1000,
+            cc_colocation_rate: f64::NAN,
+            split_rate: f64::NAN,
+        };
+        assert!(!r.is_saturated());
+        r.served = 500;
+        assert!(r.is_saturated());
+    }
+}

@@ -1,0 +1,306 @@
+//! Servers and their queue disciplines.
+//!
+//! The paper's discipline (§4.1): "Servers can simultaneously process two
+//! type-C requests first, followed by type-E requests, which are executed
+//! one at a time." Footnote 2 claims the observed advantage "is robust to
+//! other server execution strategies"; the alternates here back that
+//! ablation (experiment E2c).
+
+use crate::task::{Task, TaskType};
+use std::collections::VecDeque;
+
+/// How a server picks work each timestep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discipline {
+    /// The paper's rule: if any type-C is queued, serve up to two type-C
+    /// (same subtype) this step; otherwise serve one type-E.
+    PaperPairedC,
+    /// Strict FIFO, but if the head task is type-C, a second queued
+    /// type-C of the same subtype rides along (no reordering past type-E).
+    FifoPairedC,
+    /// Type-E first (E tasks are latency-critical): serve one type-E if
+    /// queued, else up to two same-subtype type-C.
+    ExclusiveFirst,
+    /// C-priority like the paper's rule, but serve only ONE type-C per
+    /// step (no pairing). Isolates the two mechanisms behind the quantum
+    /// advantage: if quantum still helps here, the benefit comes from
+    /// relieving type-E starvation on other servers, not from C-pairing.
+    CPrioritySingle,
+    /// One task per step regardless of type — no co-location benefit at
+    /// all (the control: quantum pairing should NOT help here).
+    SingleSlot,
+}
+
+impl Discipline {
+    /// Label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Discipline::PaperPairedC => "paper-paired-c",
+            Discipline::FifoPairedC => "fifo-paired-c",
+            Discipline::ExclusiveFirst => "exclusive-first",
+            Discipline::CPrioritySingle => "c-priority-single",
+            Discipline::SingleSlot => "single-slot",
+        }
+    }
+}
+
+/// A backend server with a task queue.
+#[derive(Debug, Clone)]
+pub struct Server {
+    queue: VecDeque<Task>,
+    discipline: Discipline,
+    /// Total tasks served.
+    pub served: u64,
+    /// Sum of queueing delays (in timesteps) of served tasks.
+    pub total_wait: u64,
+    /// Per-task queueing delays (for percentile statistics). Callers may
+    /// clear this at a measurement-window boundary.
+    pub wait_samples: Vec<u64>,
+}
+
+impl Server {
+    /// An empty server with the given discipline.
+    pub fn new(discipline: Discipline) -> Self {
+        Server {
+            queue: VecDeque::new(),
+            discipline,
+            served: 0,
+            total_wait: 0,
+            wait_samples: Vec::new(),
+        }
+    }
+
+    /// Current queue length.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Enqueues an arriving task.
+    pub fn enqueue(&mut self, task: Task) {
+        self.queue.push_back(task);
+    }
+
+    /// Runs one service timestep at time `now`, removing the tasks served
+    /// per the discipline. Returns how many tasks were served.
+    pub fn step(&mut self, now: u64) -> usize {
+        let indices = self.select_indices();
+        // Remove back-to-front so indices stay valid.
+        let mut served = 0;
+        for &i in indices.iter().rev() {
+            let task = self.queue.remove(i).expect("selected index in range");
+            let wait = now.saturating_sub(task.enqueued_at);
+            self.total_wait += wait;
+            self.wait_samples.push(wait);
+            self.served += 1;
+            served += 1;
+        }
+        served
+    }
+
+    /// Picks the queue indices to serve this step (ascending order).
+    fn select_indices(&self) -> Vec<usize> {
+        match self.discipline {
+            Discipline::PaperPairedC => {
+                if let Some(first_c) = self.first_colocate(0) {
+                    self.pair_of_colocate(first_c)
+                } else if self.queue.is_empty() {
+                    vec![]
+                } else {
+                    // No type-C queued: serve the oldest (type-E) task.
+                    vec![0]
+                }
+            }
+            Discipline::FifoPairedC => match self.queue.front() {
+                None => vec![],
+                Some(t) if t.ty.is_colocate() => self.pair_of_colocate(0),
+                Some(_) => vec![0],
+            },
+            Discipline::ExclusiveFirst => {
+                if let Some(first_e) = self
+                    .queue
+                    .iter()
+                    .position(|t| !t.ty.is_colocate())
+                {
+                    vec![first_e]
+                } else if let Some(first_c) = self.first_colocate(0) {
+                    self.pair_of_colocate(first_c)
+                } else {
+                    vec![]
+                }
+            }
+            Discipline::CPrioritySingle => {
+                if let Some(first_c) = self.first_colocate(0) {
+                    vec![first_c]
+                } else if self.queue.is_empty() {
+                    vec![]
+                } else {
+                    vec![0]
+                }
+            }
+            Discipline::SingleSlot => {
+                if self.queue.is_empty() {
+                    vec![]
+                } else {
+                    vec![0]
+                }
+            }
+        }
+    }
+
+    /// Index of the first type-C task at or after `from`.
+    fn first_colocate(&self, from: usize) -> Option<usize> {
+        self.queue
+            .iter()
+            .skip(from)
+            .position(|t| t.ty.is_colocate())
+            .map(|p| p + from)
+    }
+
+    /// The first type-C at `first`, plus the next type-C of the *same
+    /// subtype*, if any.
+    fn pair_of_colocate(&self, first: usize) -> Vec<usize> {
+        let subtype = match self.queue[first].ty {
+            TaskType::Colocate(s) => s,
+            TaskType::Exclusive => unreachable!("caller guarantees type-C"),
+        };
+        let partner = self
+            .queue
+            .iter()
+            .enumerate()
+            .skip(first + 1)
+            .find(|(_, t)| t.ty == TaskType::Colocate(subtype))
+            .map(|(i, _)| i);
+        match partner {
+            Some(p) => vec![first, p],
+            None => vec![first],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(sub: u8, at: u64) -> Task {
+        Task {
+            ty: TaskType::Colocate(sub),
+            enqueued_at: at,
+        }
+    }
+    fn e(at: u64) -> Task {
+        Task {
+            ty: TaskType::Exclusive,
+            enqueued_at: at,
+        }
+    }
+
+    #[test]
+    fn paper_discipline_pairs_two_c() {
+        let mut s = Server::new(Discipline::PaperPairedC);
+        s.enqueue(c(0, 0));
+        s.enqueue(c(0, 0));
+        s.enqueue(e(0));
+        assert_eq!(s.step(1), 2, "both Cs served together");
+        assert_eq!(s.queue_len(), 1);
+        assert_eq!(s.step(2), 1, "then the E");
+        assert_eq!(s.served, 3);
+    }
+
+    #[test]
+    fn paper_discipline_c_priority_over_e() {
+        let mut s = Server::new(Discipline::PaperPairedC);
+        s.enqueue(e(0));
+        s.enqueue(c(0, 0));
+        assert_eq!(s.step(1), 1, "the C is served first despite FIFO order");
+        assert_eq!(s.queue_len(), 1);
+        assert!(!s.queue.front().unwrap().ty.is_colocate());
+    }
+
+    #[test]
+    fn paper_discipline_lone_c_costs_full_step() {
+        let mut s = Server::new(Discipline::PaperPairedC);
+        s.enqueue(c(0, 0));
+        assert_eq!(s.step(1), 1, "a lone C still consumes the step");
+    }
+
+    #[test]
+    fn subtypes_do_not_mix() {
+        let mut s = Server::new(Discipline::PaperPairedC);
+        s.enqueue(c(0, 0));
+        s.enqueue(c(1, 0));
+        s.enqueue(c(0, 0));
+        // First step pairs the two subtype-0 Cs, skipping the subtype-1.
+        assert_eq!(s.step(1), 2);
+        assert_eq!(s.queue_len(), 1);
+        assert_eq!(s.queue.front().unwrap().ty, TaskType::Colocate(1));
+    }
+
+    #[test]
+    fn fifo_does_not_jump_past_e() {
+        let mut s = Server::new(Discipline::FifoPairedC);
+        s.enqueue(e(0));
+        s.enqueue(c(0, 0));
+        s.enqueue(c(0, 0));
+        assert_eq!(s.step(1), 1, "head E served first under FIFO");
+        assert_eq!(s.step(2), 2, "then the C pair");
+    }
+
+    #[test]
+    fn exclusive_first_prioritizes_e() {
+        let mut s = Server::new(Discipline::ExclusiveFirst);
+        s.enqueue(c(0, 0));
+        s.enqueue(e(0));
+        assert_eq!(s.step(1), 1);
+        assert!(s.queue.front().unwrap().ty.is_colocate());
+    }
+
+    #[test]
+    fn single_slot_serves_one() {
+        let mut s = Server::new(Discipline::SingleSlot);
+        s.enqueue(c(0, 0));
+        s.enqueue(c(0, 0));
+        assert_eq!(s.step(1), 1, "no pairing under single-slot");
+    }
+
+    #[test]
+    fn wait_accounting() {
+        let mut s = Server::new(Discipline::PaperPairedC);
+        s.enqueue(e(0));
+        s.enqueue(e(0));
+        s.step(3); // first E waited 3
+        s.step(5); // second E waited 5
+        assert_eq!(s.total_wait, 8);
+        assert_eq!(s.served, 2);
+    }
+
+    #[test]
+    fn empty_server_serves_nothing() {
+        for d in [
+            Discipline::PaperPairedC,
+            Discipline::FifoPairedC,
+            Discipline::ExclusiveFirst,
+            Discipline::CPrioritySingle,
+            Discipline::SingleSlot,
+        ] {
+            let mut s = Server::new(d);
+            assert_eq!(s.step(1), 0, "{}", d.label());
+        }
+    }
+}
+
+#[cfg(test)]
+mod c_priority_single_tests {
+    use super::*;
+
+    #[test]
+    fn serves_one_c_at_a_time_with_priority() {
+        let mut s = Server::new(Discipline::CPrioritySingle);
+        s.enqueue(Task { ty: TaskType::Exclusive, enqueued_at: 0 });
+        s.enqueue(Task { ty: TaskType::Colocate(0), enqueued_at: 0 });
+        s.enqueue(Task { ty: TaskType::Colocate(0), enqueued_at: 0 });
+        assert_eq!(s.step(1), 1, "one C served, with priority over the E");
+        assert_eq!(s.step(2), 1, "second C");
+        assert_eq!(s.step(3), 1, "then the E");
+        assert_eq!(s.served, 3);
+    }
+}

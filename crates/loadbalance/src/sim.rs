@@ -1,0 +1,444 @@
+//! The Figure 4 simulation loop.
+//!
+//! "At each timestep, each load balancer receives either a type-C or
+//! type-E request with equal probability. They forward it to a server
+//! according to its load balancing algorithm. Servers can simultaneously
+//! process two type-C requests first, followed by type-E requests, which
+//! are executed one at a time. We measure average queue length as a
+//! function of system load, quantified by the ratio N/M."
+
+use crate::metrics::SimResult;
+use crate::server::{Discipline, Server};
+use crate::strategy::Strategy;
+use crate::task::{Task, TaskType, Workload};
+use rand::Rng;
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Number of load balancers N (the paper's figure uses 100).
+    pub n_balancers: usize,
+    /// Number of servers M.
+    pub n_servers: usize,
+    /// Measured timesteps (after warmup).
+    pub timesteps: u64,
+    /// Warmup timesteps excluded from statistics.
+    pub warmup: u64,
+    /// Server queue discipline.
+    pub discipline: Discipline,
+}
+
+impl SimConfig {
+    /// The paper's setup at a given load: N = 100 balancers,
+    /// M = ⌈N/load⌉ servers, paper discipline.
+    ///
+    /// # Panics
+    /// Panics if `load` is not positive or implies fewer than 2 servers.
+    pub fn paper(load: f64) -> Self {
+        assert!(load > 0.0, "load must be positive");
+        let n_balancers = 100;
+        let n_servers = (n_balancers as f64 / load).round() as usize;
+        assert!(n_servers >= 2, "load {load} implies < 2 servers");
+        SimConfig {
+            n_balancers,
+            n_servers,
+            timesteps: 2_000,
+            warmup: 500,
+            discipline: Discipline::PaperPairedC,
+        }
+    }
+
+    /// The realized load ratio N/M.
+    pub fn load(&self) -> f64 {
+        self.n_balancers as f64 / self.n_servers as f64
+    }
+}
+
+/// Runs one simulation and returns aggregate metrics.
+///
+/// ```
+/// use loadbalance::{run_simulation, SimConfig, Strategy};
+/// use loadbalance::task::BernoulliWorkload;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let result = run_simulation(
+///     SimConfig::paper(1.0),
+///     Strategy::quantum_ideal(),
+///     &mut BernoulliWorkload::paper(),
+///     &mut rng,
+/// );
+/// assert!(result.avg_queue_len < 5.0); // stable at load 1.0
+/// ```
+///
+/// # Panics
+/// Panics on degenerate configurations (no balancers/servers/steps).
+pub fn run_simulation<W, R>(
+    config: SimConfig,
+    strategy: Strategy,
+    workload: &mut W,
+    rng: &mut R,
+) -> SimResult
+where
+    W: Workload + ?Sized,
+    R: Rng,
+{
+    let mut strat = strategy.build(config.n_servers);
+    run_simulation_with(config, strat.as_mut(), workload, rng)
+}
+
+/// Like [`run_simulation`], but takes an already-built (possibly
+/// stateful) strategy — required for strategies that own simulation
+/// state of their own, such as
+/// [`crate::pipeline::PipelinePairedQuantum`], which carries a live
+/// entanglement-distribution pipeline.
+///
+/// # Panics
+/// Panics on degenerate configurations (no balancers/servers/steps).
+pub fn run_simulation_with<W, R>(
+    config: SimConfig,
+    strat: &mut dyn crate::strategy::AssignmentStrategy,
+    workload: &mut W,
+    rng: &mut R,
+) -> SimResult
+where
+    W: Workload + ?Sized,
+    R: Rng,
+{
+    assert!(config.n_balancers > 0, "need balancers");
+    assert!(config.timesteps > 0, "need timesteps");
+    let mut servers: Vec<Server> = (0..config.n_servers)
+        .map(|_| Server::new(config.discipline))
+        .collect();
+    let paired = strat.name().starts_with("paired");
+
+    let total_steps = config.warmup + config.timesteps;
+    let mut queue_len_sum = 0u64;
+    let mut max_queue = 0usize;
+    let mut generated = 0u64;
+    let mut served_before_window = 0u64;
+    let mut wait_before_window = 0u64;
+
+    // Pair-level coordination stats.
+    let mut cc_rounds = 0u64;
+    let mut cc_colocated = 0u64;
+    let mut other_rounds = 0u64;
+    let mut other_split = 0u64;
+
+    let mut tasks: Vec<TaskType> = Vec::with_capacity(config.n_balancers);
+    let mut queue_lens: Vec<usize> = vec![0; config.n_servers];
+
+    for t in 0..total_steps {
+        if t == config.warmup {
+            served_before_window = servers.iter().map(|s| s.served).sum();
+            wait_before_window = servers.iter().map(|s| s.total_wait).sum();
+            for s in servers.iter_mut() {
+                s.wait_samples.clear();
+            }
+        }
+        tasks.clear();
+        for _ in 0..config.n_balancers {
+            tasks.push(workload.next_task(rng));
+        }
+        for (len, s) in queue_lens.iter_mut().zip(&servers) {
+            *len = s.queue_len();
+        }
+        let assignment = strat.assign_all(&tasks, &queue_lens, rng);
+        debug_assert_eq!(assignment.len(), tasks.len());
+
+        for (i, &srv) in assignment.iter().enumerate() {
+            servers[srv].enqueue(Task {
+                ty: tasks[i],
+                enqueued_at: t,
+            });
+        }
+        for s in servers.iter_mut() {
+            s.step(t);
+        }
+
+        if t >= config.warmup {
+            generated += config.n_balancers as u64;
+            for s in &servers {
+                let q = s.queue_len();
+                queue_len_sum += q as u64;
+                max_queue = max_queue.max(q);
+            }
+            if paired {
+                let mut i = 0;
+                while i + 1 < tasks.len() {
+                    let both_c = tasks[i].is_colocate() && tasks[i + 1].is_colocate();
+                    let same = assignment[i] == assignment[i + 1];
+                    if both_c {
+                        cc_rounds += 1;
+                        cc_colocated += u64::from(same);
+                    } else {
+                        other_rounds += 1;
+                        other_split += u64::from(!same);
+                    }
+                    i += 2;
+                }
+            }
+        }
+    }
+
+    let mut wait_samples: Vec<u64> = servers
+        .iter_mut()
+        .flat_map(|s| s.wait_samples.drain(..))
+        .collect();
+    wait_samples.sort_unstable();
+    let served: u64 = servers.iter().map(|s| s.served).sum::<u64>() - served_before_window;
+    let total_wait: u64 =
+        servers.iter().map(|s| s.total_wait).sum::<u64>() - wait_before_window;
+    let samples = config.timesteps * config.n_servers as u64;
+
+    SimResult {
+        strategy: strat.name(),
+        load: config.load(),
+        avg_queue_len: queue_len_sum as f64 / samples as f64,
+        avg_wait: if served > 0 {
+            total_wait as f64 / served as f64
+        } else {
+            f64::NAN
+        },
+        p50_wait: crate::metrics::percentile(&wait_samples, 0.5),
+        p99_wait: crate::metrics::percentile(&wait_samples, 0.99),
+        max_queue_len: max_queue,
+        served,
+        generated,
+        cc_colocation_rate: if cc_rounds > 0 {
+            cc_colocated as f64 / cc_rounds as f64
+        } else {
+            f64::NAN
+        },
+        split_rate: if other_rounds > 0 {
+            other_split as f64 / other_rounds as f64
+        } else {
+            f64::NAN
+        },
+    }
+}
+
+/// Sweeps the load axis of Figure 4 for one strategy, returning
+/// `(load, avg_queue_len)` points.
+pub fn load_sweep<R: Rng>(
+    strategy: Strategy,
+    loads: &[f64],
+    rng: &mut R,
+) -> Vec<(f64, f64)> {
+    loads
+        .iter()
+        .map(|&load| {
+            let config = SimConfig::paper(load);
+            let mut workload = crate::task::BernoulliWorkload::paper();
+            let r = run_simulation(config, strategy, &mut workload, rng);
+            (load, r.avg_queue_len)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::BernoulliWorkload;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick(load: f64) -> SimConfig {
+        SimConfig {
+            n_balancers: 40,
+            n_servers: (40.0 / load).round() as usize,
+            timesteps: 600,
+            warmup: 200,
+            discipline: Discipline::PaperPairedC,
+        }
+    }
+
+    #[test]
+    fn low_load_queues_stay_short() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = run_simulation(
+            quick(0.5),
+            Strategy::UniformRandom,
+            &mut BernoulliWorkload::paper(),
+            &mut rng,
+        );
+        assert!(r.avg_queue_len < 1.0, "avg queue {}", r.avg_queue_len);
+        assert!(!r.is_saturated());
+    }
+
+    #[test]
+    fn overload_saturates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Load 2.0: even all-C traffic (capacity 2/step) can't keep up
+        // once E tasks are in the mix.
+        let r = run_simulation(
+            quick(2.0),
+            Strategy::UniformRandom,
+            &mut BernoulliWorkload::paper(),
+            &mut rng,
+        );
+        assert!(r.avg_queue_len > 5.0, "avg queue {}", r.avg_queue_len);
+    }
+
+    #[test]
+    fn quantum_beats_classical_at_moderate_load() {
+        // The headline claim (Figure 4): near the classical knee, the
+        // quantum strategy has strictly shorter queues.
+        let mut rng = StdRng::seed_from_u64(3);
+        let load = 1.2;
+        let classical = run_simulation(
+            quick(load),
+            Strategy::UniformRandom,
+            &mut BernoulliWorkload::paper(),
+            &mut rng,
+        );
+        let quantum = run_simulation(
+            quick(load),
+            Strategy::quantum_ideal(),
+            &mut BernoulliWorkload::paper(),
+            &mut rng,
+        );
+        assert!(
+            quantum.avg_queue_len < classical.avg_queue_len,
+            "quantum {} vs classical {}",
+            quantum.avg_queue_len,
+            classical.avg_queue_len
+        );
+    }
+
+    #[test]
+    fn quantum_beats_best_classical_pairing() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let load = 1.2;
+        let split = run_simulation(
+            quick(load),
+            Strategy::PairedAlwaysSplit,
+            &mut BernoulliWorkload::paper(),
+            &mut rng,
+        );
+        let quantum = run_simulation(
+            quick(load),
+            Strategy::quantum_ideal(),
+            &mut BernoulliWorkload::paper(),
+            &mut rng,
+        );
+        assert!(
+            quantum.avg_queue_len < split.avg_queue_len,
+            "quantum {} vs always-split {}",
+            quantum.avg_queue_len,
+            split.avg_queue_len
+        );
+    }
+
+    #[test]
+    fn pair_stats_match_chsh_rates() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = run_simulation(
+            quick(1.0),
+            Strategy::quantum_ideal(),
+            &mut BernoulliWorkload::paper(),
+            &mut rng,
+        );
+        let expect = games::chsh_quantum_value();
+        assert!(
+            (r.cc_colocation_rate - expect).abs() < 0.02,
+            "CC co-location {} vs {expect}",
+            r.cc_colocation_rate
+        );
+        assert!(
+            (r.split_rate - expect).abs() < 0.02,
+            "split rate {} vs {expect}",
+            r.split_rate
+        );
+    }
+
+    #[test]
+    fn unpaired_strategies_report_nan_pair_stats() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let r = run_simulation(
+            quick(1.0),
+            Strategy::UniformRandom,
+            &mut BernoulliWorkload::paper(),
+            &mut rng,
+        );
+        assert!(r.cc_colocation_rate.is_nan());
+        assert!(r.split_rate.is_nan());
+    }
+
+    #[test]
+    fn conservation_served_le_generated() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = run_simulation(
+            quick(1.4),
+            Strategy::UniformRandom,
+            &mut BernoulliWorkload::paper(),
+            &mut rng,
+        );
+        // Within the window, served can exceed generated only by draining
+        // warmup backlog; at saturating load it must lag.
+        assert!(r.generated > 0);
+        assert!(r.served > 0);
+    }
+
+    #[test]
+    fn load_sweep_is_monotone_ish() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let pts = load_sweep(Strategy::UniformRandom, &[0.5, 1.0, 1.6], &mut rng);
+        assert_eq!(pts.len(), 3);
+        assert!(pts[0].1 < pts[2].1, "queues grow with load: {pts:?}");
+    }
+
+    #[test]
+    fn paper_config_realizes_requested_load() {
+        let c = SimConfig::paper(1.25);
+        assert_eq!(c.n_balancers, 100);
+        assert_eq!(c.n_servers, 80);
+        assert!((c.load() - 1.25).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod delay_metric_tests {
+    use super::*;
+    use crate::task::BernoulliWorkload;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn wait_percentiles_are_ordered_and_quantum_improves_them() {
+        let config = SimConfig {
+            n_balancers: 40,
+            n_servers: 36, // load ≈ 1.11
+            timesteps: 800,
+            warmup: 200,
+            discipline: Discipline::PaperPairedC,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let classical = run_simulation(
+            config,
+            Strategy::UniformRandom,
+            &mut BernoulliWorkload::paper(),
+            &mut rng,
+        );
+        let quantum = run_simulation(
+            config,
+            Strategy::quantum_ideal(),
+            &mut BernoulliWorkload::paper(),
+            &mut rng,
+        );
+        for r in [&classical, &quantum] {
+            assert!(r.p50_wait >= 0.0);
+            assert!(r.p99_wait >= r.p50_wait, "{}: p99 < p50", r.strategy);
+            assert!(r.avg_wait.is_finite());
+        }
+        // The paper's Figure 4 caption is about queuing delay: quantum
+        // must improve the tail, not just the mean queue length.
+        assert!(
+            quantum.p99_wait <= classical.p99_wait,
+            "quantum p99 {} vs classical {}",
+            quantum.p99_wait,
+            classical.p99_wait
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Task types and workload generators.
+
+use rand::Rng;
+
+/// The two task classes of §4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskType {
+    /// Type-C: benefits from co-location with other type-C tasks *of the
+    /// same subtype* (shared caches, static in-memory objects, GPU
+    /// parallelism). The paper's base simulation uses a single subtype
+    /// (`Colocate(0)`); multiple subtypes model the §4.1 caveat that
+    /// "multiple subtypes of type-C tasks … do not like being mixed".
+    Colocate(u8),
+    /// Type-E: prefers exclusive access; runs one at a time.
+    Exclusive,
+}
+
+impl TaskType {
+    /// True for any type-C task.
+    #[inline]
+    pub fn is_colocate(self) -> bool {
+        matches!(self, TaskType::Colocate(_))
+    }
+
+    /// The CHSH input bit this task maps to (§4.1: "inputs x and y are set
+    /// to 1 if the corresponding load balancer receives a type-C task").
+    #[inline]
+    pub fn chsh_input(self) -> usize {
+        usize::from(self.is_colocate())
+    }
+}
+
+/// A task instance flowing through the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Task {
+    /// The task's class.
+    pub ty: TaskType,
+    /// Timestep at which the task entered a server queue.
+    pub enqueued_at: u64,
+}
+
+/// A per-load-balancer task source.
+pub trait Workload {
+    /// Draws the next task type for one load balancer.
+    fn next_task<R: Rng + ?Sized>(&mut self, rng: &mut R) -> TaskType;
+
+    /// Name for report tables.
+    fn name(&self) -> &'static str {
+        "workload"
+    }
+}
+
+/// The paper's workload: "each load balancer receives either a type-C or
+/// type-E request with equal probability" — generalized to probability
+/// `p_colocate` and `subtypes ≥ 1` C-subtypes drawn uniformly.
+#[derive(Debug, Clone, Copy)]
+pub struct BernoulliWorkload {
+    p_colocate: f64,
+    subtypes: u8,
+}
+
+impl BernoulliWorkload {
+    /// The exact Figure 4 workload: C with probability 1/2, one subtype.
+    pub fn paper() -> Self {
+        BernoulliWorkload::new(0.5, 1)
+    }
+
+    /// General Bernoulli workload.
+    ///
+    /// # Panics
+    /// Panics if `p_colocate ∉ [0,1]` or `subtypes == 0`.
+    pub fn new(p_colocate: f64, subtypes: u8) -> Self {
+        assert!((0.0..=1.0).contains(&p_colocate), "bad probability");
+        assert!(subtypes >= 1, "need at least one subtype");
+        BernoulliWorkload {
+            p_colocate,
+            subtypes,
+        }
+    }
+}
+
+impl Workload for BernoulliWorkload {
+    fn next_task<R: Rng + ?Sized>(&mut self, rng: &mut R) -> TaskType {
+        if rng.gen::<f64>() < self.p_colocate {
+            TaskType::Colocate(rng.gen_range(0..self.subtypes))
+        } else {
+            TaskType::Exclusive
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "bernoulli"
+    }
+}
+
+/// A two-state Markov-modulated workload: alternates between a C-heavy
+/// and an E-heavy phase, producing the bursty arrival correlation real
+/// request streams show (§4.1 caveats discussion).
+#[derive(Debug, Clone, Copy)]
+pub struct BurstyWorkload {
+    /// P(type-C) in the C-heavy phase.
+    p_c_hot: f64,
+    /// P(type-C) in the E-heavy phase.
+    p_c_cold: f64,
+    /// Per-draw probability of switching phase.
+    switch_prob: f64,
+    hot: bool,
+}
+
+impl BurstyWorkload {
+    /// A bursty workload alternating between C-heavy (`p_c_hot`) and
+    /// E-heavy (`p_c_cold`) phases.
+    ///
+    /// # Panics
+    /// Panics on out-of-range probabilities.
+    pub fn new(p_c_hot: f64, p_c_cold: f64, switch_prob: f64) -> Self {
+        for p in [p_c_hot, p_c_cold, switch_prob] {
+            assert!((0.0..=1.0).contains(&p), "bad probability {p}");
+        }
+        BurstyWorkload {
+            p_c_hot,
+            p_c_cold,
+            switch_prob,
+            hot: true,
+        }
+    }
+}
+
+impl Workload for BurstyWorkload {
+    fn next_task<R: Rng + ?Sized>(&mut self, rng: &mut R) -> TaskType {
+        if rng.gen::<f64>() < self.switch_prob {
+            self.hot = !self.hot;
+        }
+        let p = if self.hot { self.p_c_hot } else { self.p_c_cold };
+        if rng.gen::<f64>() < p {
+            TaskType::Colocate(0)
+        } else {
+            TaskType::Exclusive
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "bursty"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chsh_input_mapping() {
+        assert_eq!(TaskType::Colocate(0).chsh_input(), 1);
+        assert_eq!(TaskType::Colocate(3).chsh_input(), 1);
+        assert_eq!(TaskType::Exclusive.chsh_input(), 0);
+        assert!(TaskType::Colocate(1).is_colocate());
+        assert!(!TaskType::Exclusive.is_colocate());
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut w = BernoulliWorkload::paper();
+        let trials = 20_000;
+        let c = (0..trials)
+            .filter(|_| w.next_task(&mut rng).is_colocate())
+            .count();
+        let f = c as f64 / trials as f64;
+        assert!((f - 0.5).abs() < 0.02, "C rate {f}");
+    }
+
+    #[test]
+    fn subtypes_are_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut w = BernoulliWorkload::new(1.0, 4);
+        let mut counts = [0usize; 4];
+        let trials = 20_000;
+        for _ in 0..trials {
+            match w.next_task(&mut rng) {
+                TaskType::Colocate(s) => counts[s as usize] += 1,
+                TaskType::Exclusive => panic!("p_colocate = 1"),
+            }
+        }
+        for (s, c) in counts.iter().enumerate() {
+            let f = *c as f64 / trials as f64;
+            assert!((f - 0.25).abs() < 0.02, "subtype {s}: {f}");
+        }
+    }
+
+    #[test]
+    fn bursty_switches_phases() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut w = BurstyWorkload::new(0.9, 0.1, 0.01);
+        // Long-run C rate should sit near the phase average, 0.5.
+        let trials = 100_000;
+        let c = (0..trials)
+            .filter(|_| w.next_task(&mut rng).is_colocate())
+            .count();
+        let f = c as f64 / trials as f64;
+        assert!((f - 0.5).abs() < 0.05, "long-run C rate {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one subtype")]
+    fn zero_subtypes_panics() {
+        BernoulliWorkload::new(0.5, 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based invariants of the load-balancing simulator.
+
+use loadbalance::server::Discipline;
+use loadbalance::sim::{run_simulation, SimConfig};
+use loadbalance::task::{BernoulliWorkload, TaskType};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_strategy() -> impl proptest::strategy::Strategy<Value = loadbalance::Strategy> {
+    prop_oneof![
+        Just(loadbalance::Strategy::UniformRandom),
+        Just(loadbalance::Strategy::RoundRobin),
+        Just(loadbalance::Strategy::PowerOfTwoChoices),
+        Just(loadbalance::Strategy::PairedAlwaysSplit),
+        Just(loadbalance::Strategy::PairedMatchTypes),
+        Just(loadbalance::Strategy::quantum_ideal()),
+        (0.1f64..0.9).prop_map(|f| loadbalance::Strategy::DedicatedServers {
+            dedicated_fraction: f,
+        }),
+    ]
+}
+
+fn arb_discipline() -> impl proptest::strategy::Strategy<Value = Discipline> {
+    prop_oneof![
+        Just(Discipline::PaperPairedC),
+        Just(Discipline::FifoPairedC),
+        Just(Discipline::ExclusiveFirst),
+        Just(Discipline::SingleSlot),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every strategy returns in-range server assignments for any task
+    /// mix.
+    #[test]
+    fn assignments_in_range(
+        strategy in arb_strategy(),
+        tasks in proptest::collection::vec(
+            prop_oneof![
+                Just(TaskType::Exclusive),
+                (0u8..4).prop_map(TaskType::Colocate)
+            ],
+            1..20),
+        n_servers in 2usize..12,
+        seed in 0u64..512)
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = strategy.build(n_servers);
+        let lens = vec![0usize; n_servers];
+        let out = s.assign_all(&tasks, &lens, &mut rng);
+        prop_assert_eq!(out.len(), tasks.len());
+        for srv in out {
+            prop_assert!(srv < n_servers);
+        }
+    }
+
+    /// The end-to-end simulation satisfies conservation: tasks served in
+    /// the window never exceed tasks generated plus the warmup backlog,
+    /// and the queue statistics are finite and non-negative.
+    #[test]
+    fn simulation_conservation(
+        strategy in arb_strategy(),
+        discipline in arb_discipline(),
+        n_balancers in 4usize..30,
+        n_servers in 2usize..20,
+        p_colocate in 0.0f64..1.0,
+        seed in 0u64..256)
+    {
+        let config = SimConfig {
+            n_balancers,
+            n_servers,
+            timesteps: 120,
+            warmup: 40,
+            discipline,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut workload = BernoulliWorkload::new(p_colocate, 2);
+        let r = run_simulation(config, strategy, &mut workload, &mut rng);
+        prop_assert_eq!(r.generated, 120 * n_balancers as u64);
+        // Warmup backlog is at most warmup × balancers tasks.
+        prop_assert!(r.served <= r.generated + 40 * n_balancers as u64);
+        prop_assert!(r.avg_queue_len >= 0.0);
+        prop_assert!(r.avg_queue_len.is_finite());
+        prop_assert!(r.max_queue_len < 1_000_000);
+    }
+
+    /// SingleSlot servers serve at most one task per step: the served
+    /// count is bounded by steps × servers.
+    #[test]
+    fn single_slot_throughput_bound(
+        n_balancers in 4usize..20,
+        n_servers in 2usize..10,
+        seed in 0u64..128)
+    {
+        let steps = 100u64;
+        let config = SimConfig {
+            n_balancers,
+            n_servers,
+            timesteps: steps,
+            warmup: 0,
+            discipline: Discipline::SingleSlot,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut workload = BernoulliWorkload::paper();
+        let r = run_simulation(config, loadbalance::Strategy::UniformRandom, &mut workload, &mut rng);
+        prop_assert!(r.served <= steps * n_servers as u64);
+    }
+
+    /// Paired strategies' CC co-location statistic stays within the
+    /// physically-possible band [0, 1], and quantum sits strictly between
+    /// the two classical extremes.
+    #[test]
+    fn quantum_colocation_between_classical_extremes(seed in 0u64..64) {
+        let config = SimConfig {
+            n_balancers: 20,
+            n_servers: 10,
+            timesteps: 300,
+            warmup: 50,
+            discipline: Discipline::PaperPairedC,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let run = |s, rng: &mut StdRng| {
+            run_simulation(config, s, &mut BernoulliWorkload::paper(), rng)
+                .cc_colocation_rate
+        };
+        let split = run(loadbalance::Strategy::PairedAlwaysSplit, &mut rng);
+        let matcht = run(loadbalance::Strategy::PairedMatchTypes, &mut rng);
+        let quantum = run(loadbalance::Strategy::quantum_ideal(), &mut rng);
+        prop_assert_eq!(split, 0.0);
+        prop_assert_eq!(matcht, 1.0);
+        prop_assert!(quantum > 0.7 && quantum < 0.95, "quantum {}", quantum);
+    }
+}

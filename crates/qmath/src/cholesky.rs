@@ -1,0 +1,103 @@
+//! Cholesky factorization and positive-semidefiniteness checks.
+
+use crate::eigen::eigh;
+use crate::error::MathError;
+use crate::rmatrix::RMatrix;
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+/// matrix, returning lower-triangular `L`.
+///
+/// # Errors
+/// - [`MathError::NotSquare`] for non-square input.
+/// - [`MathError::NotPositiveDefinite`] (with the failing pivot) if a
+///   non-positive pivot is encountered — i.e. the matrix is indefinite or
+///   only semidefinite.
+pub fn cholesky(a: &RMatrix) -> Result<RMatrix, MathError> {
+    if !a.is_square() {
+        return Err(MathError::NotSquare {
+            op: "cholesky",
+            dims: (a.rows(), a.cols()),
+        });
+    }
+    let n = a.rows();
+    let mut l = RMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(MathError::NotPositiveDefinite { pivot: i });
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// True if the symmetric matrix `a` is positive semidefinite within `tol`
+/// (smallest eigenvalue ≥ `-tol`).
+///
+/// Uses the eigendecomposition rather than attempted Cholesky so that
+/// boundary cases (rank-deficient PSD matrices such as pure-state density
+/// matrices) are classified correctly.
+///
+/// # Errors
+/// Propagates [`eigh`] errors (non-square or asymmetric input).
+pub fn is_positive_semidefinite(a: &RMatrix, tol: f64) -> Result<bool, MathError> {
+    let dec = eigh(a)?;
+    Ok(dec.values.first().is_none_or(|&min| min >= -tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_known_factorization() {
+        // A = [[4, 2], [2, 3]] → L = [[2, 0], [1, √2]]
+        let a = RMatrix::from_vec(2, 2, vec![4.0, 2.0, 2.0, 3.0]).unwrap();
+        let l = cholesky(&a).unwrap();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 2.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(l[(0, 1)], 0.0);
+        // Reconstruction
+        let r = l.matmul(&l.transpose()).unwrap();
+        assert!(r.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = RMatrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(matches!(
+            cholesky(&a),
+            Err(MathError::NotPositiveDefinite { pivot: 1 })
+        ));
+    }
+
+    #[test]
+    fn cholesky_rejects_nonsquare() {
+        assert!(matches!(
+            cholesky(&RMatrix::zeros(2, 3)),
+            Err(MathError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn psd_check_boundary_cases() {
+        // Rank-1 PSD (semidefinite, Cholesky would fail).
+        let a = RMatrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert!(is_positive_semidefinite(&a, 1e-9).unwrap());
+        // Indefinite.
+        let b = RMatrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(!is_positive_semidefinite(&b, 1e-9).unwrap());
+        // Zero matrix is PSD.
+        assert!(is_positive_semidefinite(&RMatrix::zeros(3, 3), 1e-9).unwrap());
+    }
+}

@@ -1,0 +1,135 @@
+//! Monte-Carlo statistics helpers.
+//!
+//! Every number the reproduction harness reports is a Monte-Carlo
+//! estimate; these helpers turn raw counts into honest intervals so the
+//! tables can show when a difference is real.
+
+/// A binomial proportion with its 95% Wilson score interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Proportion {
+    /// Point estimate `successes / trials`.
+    pub estimate: f64,
+    /// Lower end of the 95% Wilson interval.
+    pub lo: f64,
+    /// Upper end of the 95% Wilson interval.
+    pub hi: f64,
+    /// Number of trials.
+    pub trials: u64,
+}
+
+/// z-score for a 95% two-sided interval.
+const Z95: f64 = 1.959964;
+
+/// Computes a proportion with its 95% Wilson score interval — better
+/// behaved than the normal approximation near 0 and 1, which is where
+/// the advantage-probability sweeps live.
+///
+/// # Panics
+/// Panics if `trials == 0` or `successes > trials`.
+pub fn wilson(successes: u64, trials: u64) -> Proportion {
+    assert!(trials > 0, "no trials");
+    assert!(successes <= trials, "more successes than trials");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = Z95 * Z95;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (Z95 / denom) * ((p * (1.0 - p) + z2 / (4.0 * n)) / n).sqrt();
+    Proportion {
+        estimate: p,
+        lo: (center - half).max(0.0),
+        hi: (center + half).min(1.0),
+        trials,
+    }
+}
+
+impl Proportion {
+    /// True if `value` falls inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        (self.lo..=self.hi).contains(&value)
+    }
+
+    /// True if this interval lies entirely above `other`'s — the
+    /// difference is significant at ~95%.
+    pub fn significantly_above(&self, other: &Proportion) -> bool {
+        self.lo > other.hi
+    }
+
+    /// Renders as `0.8536 ±0.0031` (symmetric half-width approximation).
+    pub fn display(&self) -> String {
+        let half = (self.hi - self.lo) / 2.0;
+        format!("{:.4} ±{half:.4}", self.estimate)
+    }
+}
+
+/// Sample mean and standard error of a set of measurements.
+///
+/// # Panics
+/// Panics on empty input.
+pub fn mean_and_stderr(samples: &[f64]) -> (f64, f64) {
+    assert!(!samples.is_empty(), "no samples");
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    if samples.len() == 1 {
+        return (mean, 0.0);
+    }
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, (var / n).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_basic_properties() {
+        let p = wilson(850, 1000);
+        assert!((p.estimate - 0.85).abs() < 1e-12);
+        assert!(p.lo < 0.85 && 0.85 < p.hi);
+        assert!(p.hi - p.lo < 0.05, "interval width {}", p.hi - p.lo);
+        assert!(p.contains(0.85));
+        assert!(!p.contains(0.5));
+    }
+
+    #[test]
+    fn wilson_extremes_stay_in_bounds() {
+        let zero = wilson(0, 100);
+        assert_eq!(zero.lo, 0.0);
+        assert!(zero.hi > 0.0, "zero successes still admit p > 0");
+        let all = wilson(100, 100);
+        assert_eq!(all.hi, 1.0);
+        assert!(all.lo < 1.0);
+    }
+
+    #[test]
+    fn wilson_narrows_with_trials() {
+        let small = wilson(75, 100);
+        let large = wilson(7500, 10_000);
+        assert!(large.hi - large.lo < small.hi - small.lo);
+    }
+
+    #[test]
+    fn significance_detects_chsh_gap() {
+        // 0.8536 vs 0.75 at 10⁴ trials each: decisively separated.
+        let q = wilson(8536, 10_000);
+        let c = wilson(7500, 10_000);
+        assert!(q.significantly_above(&c));
+        assert!(!c.significantly_above(&q));
+    }
+
+    #[test]
+    fn mean_and_stderr_basics() {
+        let (m, se) = mean_and_stderr(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((se - (1.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        let (m1, se1) = mean_and_stderr(&[5.0]);
+        assert_eq!((m1, se1), (5.0, 0.0));
+    }
+
+    #[test]
+    fn display_format() {
+        let p = wilson(500, 1000);
+        let s = p.display();
+        assert!(s.starts_with("0.5000 ±"), "{s}");
+    }
+}

@@ -1,0 +1,380 @@
+//! The continuous entanglement-distribution pipeline.
+//!
+//! Fig. 1 + Fig. 2 of the paper: a central source streams entangled pairs
+//! down two fibers to a pair of endpoints *ahead of demand*; each endpoint
+//! buffers its half in QNIC memory. When an input arrives, the endpoint
+//! consumes the oldest buffered pair immediately — no network round trip.
+//!
+//! The distributor accounts for the three loss mechanisms of §3:
+//!
+//! 1. **Photon loss in fiber** — a pair is usable only if *both* halves
+//!    survive their links.
+//! 2. **Memory pressure** — QNIC capacity is finite; arrivals to a full
+//!    memory are dropped (on either side, the partner half is discarded
+//!    too — a half-pair is useless).
+//! 3. **Decoherence in storage** — consumed pairs are degraded by the
+//!    per-half dephasing accumulated while buffered.
+
+use crate::epr::EprSource;
+use crate::link::FiberLink;
+use crate::qnic::Qnic;
+use crate::time::SimTime;
+use qsim::{DensityMatrix, SharedPair};
+use rand::Rng;
+use std::time::Duration;
+
+/// Which buffered pair a consumption request takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConsumePolicy {
+    /// Oldest pair first (FIFO): fair aging, but the consumed pair has
+    /// accumulated the most storage dephasing.
+    OldestFirst,
+    /// Newest pair first (LIFO): the consumed pair is the freshest —
+    /// maximum fidelity, matching §3's advice to arrange qubit arrival
+    /// just before use. The default.
+    #[default]
+    FreshestFirst,
+}
+
+/// Configuration of a two-endpoint distribution pipeline.
+#[derive(Debug, Clone)]
+pub struct DistributorConfig {
+    /// The entangled-pair source.
+    pub source: EprSource,
+    /// Fiber from the source to endpoint A.
+    pub link_a: FiberLink,
+    /// Fiber from the source to endpoint B.
+    pub link_b: FiberLink,
+    /// QNIC memory capacity at each endpoint.
+    pub qnic_capacity: usize,
+    /// QNIC coherence lifetime τ.
+    pub memory_lifetime: Duration,
+    /// Eviction age (qubits older than this are discarded).
+    pub max_age: Duration,
+    /// Which buffered pair to consume.
+    pub consume_policy: ConsumePolicy,
+}
+
+impl DistributorConfig {
+    /// A representative room-temperature datacenter setup: 10⁵ pairs/s at
+    /// visibility 0.95, 1 km fibers, 16-slot NICs with τ = 100 µs.
+    pub fn typical() -> Self {
+        DistributorConfig {
+            source: EprSource::typical_room_temperature(),
+            link_a: FiberLink::new(1.0),
+            link_b: FiberLink::new(1.0),
+            qnic_capacity: 16,
+            memory_lifetime: Duration::from_micros(100),
+            max_age: Duration::from_micros(160),
+            consume_policy: ConsumePolicy::FreshestFirst,
+        }
+    }
+}
+
+/// Counters describing pipeline behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistributorStats {
+    /// Pairs emitted by the source.
+    pub emitted: u64,
+    /// Pairs lost to fiber attenuation (either half).
+    pub lost_in_fiber: u64,
+    /// Pairs dropped because a QNIC was full.
+    pub dropped_full: u64,
+    /// Pairs evicted after exceeding the age limit.
+    pub expired: u64,
+    /// Pairs successfully consumed by a decision.
+    pub consumed: u64,
+    /// Consumption attempts that found no buffered pair.
+    pub misses: u64,
+}
+
+impl DistributorStats {
+    /// Fraction of consumption attempts that found a pair buffered.
+    pub fn availability(&self) -> f64 {
+        let attempts = self.consumed + self.misses;
+        if attempts == 0 {
+            return 1.0;
+        }
+        self.consumed as f64 / attempts as f64
+    }
+}
+
+/// The two-endpoint continuous distribution pipeline.
+pub struct EntanglementDistributor {
+    config: DistributorConfig,
+    nic_a: Qnic,
+    nic_b: Qnic,
+    next_pair_id: u64,
+    next_emission: SimTime,
+    clock: SimTime,
+    stats: DistributorStats,
+}
+
+impl EntanglementDistributor {
+    /// Builds the pipeline; the first emission is scheduled from t = 0.
+    pub fn new<R: Rng + ?Sized>(config: DistributorConfig, rng: &mut R) -> Self {
+        let next_emission = config.source.next_emission(SimTime::ZERO, rng);
+        let nic = |c: &DistributorConfig| Qnic::new(c.qnic_capacity, c.memory_lifetime, c.max_age);
+        EntanglementDistributor {
+            nic_a: nic(&config),
+            nic_b: nic(&config),
+            config,
+            next_pair_id: 0,
+            next_emission,
+            clock: SimTime::ZERO,
+            stats: DistributorStats::default(),
+        }
+    }
+
+    /// Current pipeline statistics.
+    pub fn stats(&self) -> DistributorStats {
+        let mut s = self.stats;
+        s.dropped_full = self.nic_a.dropped_full + self.nic_b.dropped_full;
+        s.expired = self.nic_a.expired + self.nic_b.expired;
+        s
+    }
+
+    /// Number of pairs currently buffered (present at both endpoints).
+    pub fn buffered(&self) -> usize {
+        self.nic_a.len().min(self.nic_b.len())
+    }
+
+    /// Advances the pipeline to `now`: emits pairs, transits fibers,
+    /// stores survivors, evicts stale qubits.
+    pub fn advance_to<R: Rng + ?Sized>(&mut self, now: SimTime, rng: &mut R) {
+        while self.next_emission <= now {
+            let t = self.next_emission;
+            self.stats.emitted += 1;
+            let id = self.next_pair_id;
+            self.next_pair_id += 1;
+
+            let a_survives = self.config.link_a.transmit(rng);
+            let b_survives = self.config.link_b.transmit(rng);
+            if a_survives && b_survives {
+                let arrive_a = t + self.config.link_a.propagation_delay();
+                let arrive_b = t + self.config.link_b.propagation_delay();
+                // A full memory overwrites its oldest qubit; the evicted
+                // qubit's partner half becomes an orphan and is pruned
+                // here (symmetric memories usually evict the same pair).
+                if let Some(ev) = self.nic_a.store(id, arrive_a) {
+                    self.nic_b.take_pair_id(ev.pair_id);
+                }
+                if let Some(ev) = self.nic_b.store(id, arrive_b) {
+                    self.nic_a.take_pair_id(ev.pair_id);
+                }
+            } else {
+                self.stats.lost_in_fiber += 1;
+            }
+            self.next_emission = self.config.source.next_emission(t, rng);
+        }
+        self.nic_a.evict_expired(now);
+        self.nic_b.evict_expired(now);
+        // Orphan halves (partner evicted or dropped on the other side) are
+        // discarded lazily by `take_pair` and eventually age out — they
+        // occupy memory until then, exactly as a real half-pair would.
+        self.clock = now;
+    }
+
+    /// Consumes the oldest buffered pair at `now`, applying storage decay
+    /// to both halves. Returns `None` (and counts a miss) if no pair is
+    /// available.
+    pub fn take_pair<R: Rng + ?Sized>(&mut self, now: SimTime, rng: &mut R) -> Option<SharedPair> {
+        self.advance_to(now, rng);
+        loop {
+            let taken = match self.config.consume_policy {
+                ConsumePolicy::OldestFirst => self.nic_a.take_oldest(),
+                ConsumePolicy::FreshestFirst => self.nic_a.take_newest(),
+            };
+            let qa = match taken {
+                Some(q) => q,
+                None => {
+                    self.stats.misses += 1;
+                    return None;
+                }
+            };
+            let Some(qb) = self.nic_b.take_pair_id(qa.pair_id) else {
+                // Orphan half; discard and retry.
+                continue;
+            };
+            // Joint state at delivery, then per-half storage decay.
+            let rho = if self.config.source.visibility() >= 1.0 {
+                DensityMatrix::from_pure(&qsim::bell::phi_plus())
+            } else {
+                qsim::noise::werner(self.config.source.visibility())
+                    .expect("valid visibility")
+            };
+            let ch_a = self.nic_a.decay_channel(qa.arrival, now);
+            let ch_b = self.nic_b.decay_channel(qb.arrival, now);
+            let rho = ch_a.apply(&rho, 0).expect("qubit 0 in range");
+            let rho = ch_b.apply(&rho, 1).expect("qubit 1 in range");
+            self.stats.consumed += 1;
+            return Some(SharedPair::from_density(rho).expect("two qubits"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::Party;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fast_config() -> DistributorConfig {
+        DistributorConfig {
+            source: EprSource::new(1e6, 1.0),
+            link_a: FiberLink::new(0.0),
+            link_b: FiberLink::new(0.0),
+            qnic_capacity: 64,
+            memory_lifetime: Duration::from_micros(100),
+            max_age: Duration::from_micros(160),
+            consume_policy: ConsumePolicy::OldestFirst,
+        }
+    }
+
+    #[test]
+    fn pairs_accumulate_ahead_of_demand() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut d = EntanglementDistributor::new(fast_config(), &mut rng);
+        d.advance_to(SimTime::from_micros(30), &mut rng);
+        assert!(d.buffered() > 0, "pairs should be buffered");
+        let s = d.stats();
+        assert!(s.emitted >= d.buffered() as u64);
+    }
+
+    #[test]
+    fn take_pair_is_immediately_usable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut d = EntanglementDistributor::new(fast_config(), &mut rng);
+        let mut pair = d
+            .take_pair(SimTime::from_micros(50), &mut rng)
+            .expect("fast source must have a pair by 50µs");
+        // Fresh, losslessly-delivered, v=1 pairs retain full correlation.
+        let a = pair.measure_angle(Party::A, 0.9, &mut rng).unwrap();
+        let b = pair.measure_angle(Party::B, 0.9, &mut rng).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(d.stats().consumed, 1);
+    }
+
+    #[test]
+    fn miss_when_source_too_slow() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cfg = fast_config();
+        cfg.source = EprSource::new(10.0, 1.0); // 10 pairs/s: none by 1 µs
+        let mut d = EntanglementDistributor::new(cfg, &mut rng);
+        assert!(d.take_pair(SimTime::from_micros(1), &mut rng).is_none());
+        assert_eq!(d.stats().misses, 1);
+        assert!(d.stats().availability() < 1.0);
+    }
+
+    #[test]
+    fn fiber_loss_reduces_delivery() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cfg = fast_config();
+        cfg.link_a = FiberLink::new(50.0); // 10% survival
+        let mut d = EntanglementDistributor::new(cfg, &mut rng);
+        d.advance_to(SimTime::from_micros(500), &mut rng);
+        let s = d.stats();
+        assert!(s.lost_in_fiber > 0);
+        let delivered = s.emitted - s.lost_in_fiber;
+        // ~10% should survive the lossy link.
+        let rate = delivered as f64 / s.emitted as f64;
+        assert!(rate < 0.25, "delivery rate {rate}");
+    }
+
+    #[test]
+    fn capacity_pressure_counts_drops() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut cfg = fast_config();
+        cfg.qnic_capacity = 2;
+        cfg.max_age = Duration::from_secs(1); // no eviction interference
+        let mut d = EntanglementDistributor::new(cfg, &mut rng);
+        d.advance_to(SimTime::from_micros(100), &mut rng);
+        assert!(d.stats().dropped_full > 0);
+        assert!(d.buffered() <= 2);
+    }
+
+    #[test]
+    fn stale_pairs_expire() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut cfg = fast_config();
+        cfg.source = EprSource::new(1e5, 1.0);
+        let mut d = EntanglementDistributor::new(cfg, &mut rng);
+        d.advance_to(SimTime::from_micros(100), &mut rng);
+        let buffered_early = d.buffered();
+        assert!(buffered_early > 0);
+        // Jump far ahead with no consumption: everything currently
+        // buffered must expire (160 µs max age).
+        d.advance_to(SimTime::from_secs_f64(0.01), &mut rng);
+        assert!(d.stats().expired > 0);
+    }
+
+    #[test]
+    fn stored_pairs_decohere() {
+        // Consume a pair held ≈ τ: same-basis agreement drops below 1.
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 2_000;
+        let mut agree = 0usize;
+        for _ in 0..trials {
+            let mut cfg = fast_config();
+            cfg.source = EprSource::new(1e6, 1.0);
+            cfg.max_age = Duration::from_secs(1);
+            let mut d = EntanglementDistributor::new(cfg, &mut rng);
+            // Fill buffer early, then consume late: held time ≈ 100µs = τ.
+            d.advance_to(SimTime::from_micros(5), &mut rng);
+            if d.buffered() == 0 {
+                continue;
+            }
+            // Stop emission from interfering by consuming the *oldest*.
+            let mut pair = match d.take_pair(SimTime::from_micros(105), &mut rng) {
+                Some(p) => p,
+                None => continue,
+            };
+            let a = pair.measure_angle(Party::A, 0.0, &mut rng).unwrap();
+            let b = pair.measure_angle(Party::B, 0.0, &mut rng).unwrap();
+            agree += usize::from(a == b);
+        }
+        let f = agree as f64 / trials as f64;
+        // Z-basis agreement survives dephasing (populations untouched) —
+        // so agreement in the computational basis stays high...
+        assert!(f > 0.9, "computational-basis agreement {f}");
+    }
+
+    #[test]
+    fn decoherence_hurts_x_basis_agreement() {
+        // ... but X-basis (θ = π/4) agreement is destroyed by dephasing.
+        let mut rng = StdRng::seed_from_u64(8);
+        let theta = std::f64::consts::FRAC_PI_4;
+        let trials = 2_000;
+        let mut agree_fresh = 0usize;
+        let mut agree_stale = 0usize;
+        let mut n_fresh = 0usize;
+        let mut n_stale = 0usize;
+        for _ in 0..trials {
+            let mut cfg = fast_config();
+            cfg.max_age = Duration::from_secs(1);
+            let mut d = EntanglementDistributor::new(cfg, &mut rng);
+            d.advance_to(SimTime::from_micros(5), &mut rng);
+            if let Some(mut p) = d.take_pair(SimTime::from_micros(6), &mut rng) {
+                let a = p.measure_angle(Party::A, theta, &mut rng).unwrap();
+                let b = p.measure_angle(Party::B, theta, &mut rng).unwrap();
+                agree_fresh += usize::from(a == b);
+                n_fresh += 1;
+            }
+            let mut d2 = EntanglementDistributor::new(fast_config(), &mut rng);
+            d2.advance_to(SimTime::from_micros(5), &mut rng);
+            if let Some(mut p) = d2.take_pair(SimTime::from_micros(155), &mut rng) {
+                let a = p.measure_angle(Party::A, theta, &mut rng).unwrap();
+                let b = p.measure_angle(Party::B, theta, &mut rng).unwrap();
+                agree_stale += usize::from(a == b);
+                n_stale += 1;
+            }
+        }
+        let f_fresh = agree_fresh as f64 / n_fresh.max(1) as f64;
+        let f_stale = agree_stale as f64 / n_stale.max(1) as f64;
+        assert!(
+            f_fresh > f_stale + 0.1,
+            "fresh {f_fresh} should beat stale {f_stale}"
+        );
+    }
+}

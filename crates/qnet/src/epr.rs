@@ -1,0 +1,155 @@
+//! The SPDC entangled-pair source.
+//!
+//! §3: "Bell pairs can be generated at rates of 10⁴ to 10⁷ pairs per
+//! second depending on the experimental setup". SPDC emission is a
+//! Poisson process (each pump photon splits with tiny probability), so
+//! inter-emission gaps are exponential with mean `1/rate`.
+
+use crate::time::SimTime;
+use qsim::{SharedPair, SimError};
+use rand::Rng;
+use std::time::Duration;
+
+/// An entangled-photon-pair source.
+#[derive(Debug, Clone, Copy)]
+pub struct EprSource {
+    rate_hz: f64,
+    visibility: f64,
+}
+
+impl EprSource {
+    /// A source emitting at `rate_hz` pairs/s with the given pair
+    /// visibility (1.0 = perfect Bell pairs).
+    ///
+    /// # Panics
+    /// Panics if `rate_hz <= 0` or `visibility ∉ [0, 1]`.
+    pub fn new(rate_hz: f64, visibility: f64) -> Self {
+        assert!(rate_hz > 0.0, "rate must be positive");
+        assert!((0.0..=1.0).contains(&visibility), "bad visibility");
+        EprSource {
+            rate_hz,
+            visibility,
+        }
+    }
+
+    /// A representative room-temperature SPDC setup: 10⁵ pairs/s at
+    /// visibility 0.95 (mid-range of the paper's §3 figures).
+    pub fn typical_room_temperature() -> Self {
+        EprSource::new(1e5, 0.95)
+    }
+
+    /// Emission rate in pairs/s.
+    pub fn rate_hz(&self) -> f64 {
+        self.rate_hz
+    }
+
+    /// Pair visibility.
+    pub fn visibility(&self) -> f64 {
+        self.visibility
+    }
+
+    /// Mean gap between emissions.
+    pub fn mean_interval(&self) -> Duration {
+        Duration::from_secs_f64(1.0 / self.rate_hz)
+    }
+
+    /// Samples the (exponential) gap to the next emission.
+    pub fn sample_interval<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        // Inverse-CDF sampling; guard the log against u = 0.
+        let u: f64 = rng.gen::<f64>().max(1e-300);
+        Duration::from_secs_f64(-u.ln() / self.rate_hz)
+    }
+
+    /// The next emission instant after `now`.
+    pub fn next_emission<R: Rng + ?Sized>(&self, now: SimTime, rng: &mut R) -> SimTime {
+        now + self.sample_interval(rng)
+    }
+
+    /// Generates one entangled pair: a perfect Bell pair at visibility 1,
+    /// otherwise a Werner state.
+    ///
+    /// # Errors
+    /// Never fails for a validly-constructed source; the `Result` conveys
+    /// the underlying simulator contract.
+    pub fn generate_pair(&self) -> Result<SharedPair, SimError> {
+        if self.visibility >= 1.0 {
+            Ok(SharedPair::ideal())
+        } else {
+            SharedPair::werner(self.visibility)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::Party;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_interval_matches_rate() {
+        let s = EprSource::new(1e6, 1.0);
+        assert_eq!(s.mean_interval(), Duration::from_micros(1));
+    }
+
+    #[test]
+    fn sampled_intervals_have_right_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = EprSource::new(1e5, 1.0);
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| s.sample_interval(&mut rng).as_secs_f64())
+            .sum();
+        let mean = total / n as f64;
+        assert!((mean - 1e-5).abs() < 5e-7, "mean {mean}");
+    }
+
+    #[test]
+    fn emissions_advance_time() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = EprSource::typical_room_temperature();
+        let mut t = SimTime::ZERO;
+        for _ in 0..100 {
+            let next = s.next_emission(t, &mut rng);
+            assert!(next > t);
+            t = next;
+        }
+    }
+
+    #[test]
+    fn perfect_source_yields_ideal_pairs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = EprSource::new(1e5, 1.0);
+        // Perfect pairs are perfectly correlated in a common basis.
+        for _ in 0..50 {
+            let mut pair = s.generate_pair().unwrap();
+            let a = pair.measure_angle(Party::A, 0.3, &mut rng).unwrap();
+            let b = pair.measure_angle(Party::B, 0.3, &mut rng).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn noisy_source_yields_werner_statistics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let v = 0.7;
+        let s = EprSource::new(1e5, v);
+        let trials = 10_000;
+        let mut agree = 0usize;
+        for _ in 0..trials {
+            let mut pair = s.generate_pair().unwrap();
+            let a = pair.measure_angle(Party::A, 0.0, &mut rng).unwrap();
+            let b = pair.measure_angle(Party::B, 0.0, &mut rng).unwrap();
+            agree += usize::from(a == b);
+        }
+        let f = agree as f64 / trials as f64;
+        assert!((f - (1.0 + v) / 2.0).abs() < 0.02, "agreement {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        EprSource::new(0.0, 1.0);
+    }
+}

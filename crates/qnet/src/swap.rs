@@ -1,0 +1,202 @@
+//! Entanglement swapping — extending entanglement beyond one fiber hop.
+//!
+//! §3 cites quantum repeaters \[62\] and metropolitan-scale heralded
+//! entanglement \[63\]. The primitive underneath both is *swapping*: given a
+//! pair shared between A and a midpoint M, and another between M and B, a
+//! Bell-state measurement (BSM) at M — plus a 2-bit classical correction
+//! sent to B — leaves A and B entangled even though their photons never
+//! met. (The classical correction travels at light speed: swapping
+//! extends *pre-shared* entanglement; it does not communicate faster than
+//! light.)
+//!
+//! Noise composes multiplicatively: swapping two Werner pairs of
+//! visibilities `v₁` and `v₂` yields a pair of visibility `v₁·v₂` —
+//! verified by the tests below, and the reason long repeater chains need
+//! purification.
+
+use qsim::{gates, DensityMatrix, SimError};
+use qmath::CMatrix;
+use rand::Rng;
+
+/// The outcome of a swap: the end-to-end pair (A, B) plus the midpoint's
+/// Bell-measurement outcome bits (already corrected for — reported for
+/// bookkeeping/heralding).
+#[derive(Debug, Clone)]
+pub struct SwapOutcome {
+    /// The resulting two-qubit state shared by the end parties.
+    pub pair: DensityMatrix,
+    /// The midpoint's first measurement bit (Z-type correction applied).
+    pub m1: u8,
+    /// The midpoint's second measurement bit (X-type correction applied).
+    pub m2: u8,
+}
+
+/// Swaps entanglement: consumes a pair between A and midpoint (qubits
+/// A, M₁) and a pair between midpoint and B (qubits M₂, B), performs a
+/// BSM on (M₁, M₂), applies the heralded Pauli correction on B, and
+/// returns the (A, B) pair.
+///
+/// # Errors
+/// [`SimError::SizeMismatch`] unless both inputs are 2-qubit states.
+pub fn entanglement_swap<R: Rng + ?Sized>(
+    pair_am: &DensityMatrix,
+    pair_mb: &DensityMatrix,
+    rng: &mut R,
+) -> Result<SwapOutcome, SimError> {
+    if pair_am.n_qubits() != 2 || pair_mb.n_qubits() != 2 {
+        return Err(SimError::SizeMismatch {
+            op: "entanglement_swap",
+            lhs: pair_am.n_qubits(),
+            rhs: pair_mb.n_qubits(),
+        });
+    }
+    // Joint register: qubit 0 = A, 1 = M₁, 2 = M₂, 3 = B.
+    let mut joint = pair_am.tensor(pair_mb);
+
+    // Bell-state measurement on (1, 2): CNOT(1→2), H(1), measure both.
+    let cnot = embed_cnot_adjacent(4, 1);
+    joint.apply_unitary(&cnot)?;
+    joint.apply_gate1(1, &gates::h())?;
+    let m1 = joint.measure_in_basis(1, &qsim::measure::Basis1::computational(), rng)?;
+    let m2 = joint.measure_in_basis(2, &qsim::measure::Basis1::computational(), rng)?;
+
+    // Heralded corrections on B (transmitted classically in a real
+    // system; the end-to-end pair is unusable until they arrive).
+    if m2 == 1 {
+        joint.apply_gate1(3, &gates::x())?;
+    }
+    if m1 == 1 {
+        joint.apply_gate1(3, &gates::z())?;
+    }
+
+    let pair = joint.partial_trace(&[0, 3])?;
+    Ok(SwapOutcome { pair, m1, m2 })
+}
+
+/// Builds the full-register CNOT with control `q` and target `q+1`.
+fn embed_cnot_adjacent(n_qubits: usize, q: usize) -> CMatrix {
+    debug_assert!(q + 1 < n_qubits);
+    let g = gates::cnot();
+    let mut u = CMatrix::zeros(4, 4);
+    for r in 0..4 {
+        for c in 0..4 {
+            u[(r, c)] = g[r][c];
+        }
+    }
+    let left = CMatrix::identity(1 << q);
+    let right = CMatrix::identity(1 << (n_qubits - q - 2));
+    left.kron(&u).kron(&right)
+}
+
+/// Convenience: swap two Werner pairs of the given visibilities and
+/// return the resulting end-to-end state.
+///
+/// # Errors
+/// [`SimError::BadProbability`] for out-of-range visibilities.
+pub fn swap_werner_pairs<R: Rng + ?Sized>(
+    v1: f64,
+    v2: f64,
+    rng: &mut R,
+) -> Result<DensityMatrix, SimError> {
+    let p1 = qsim::noise::werner(v1)?;
+    let p2 = qsim::noise::werner(v2)?;
+    Ok(entanglement_swap(&p1, &p2, rng)?.pair)
+}
+
+/// The number of swap hops a chain can tolerate before the end-to-end
+/// visibility `v₀^(hops+1)` drops below the CHSH threshold `1/√2`.
+pub fn max_useful_hops(per_link_visibility: f64) -> usize {
+    assert!(
+        (0.0..=1.0).contains(&per_link_visibility),
+        "bad visibility"
+    );
+    if per_link_visibility >= 1.0 {
+        return usize::MAX;
+    }
+    if per_link_visibility <= 0.0 {
+        return 0;
+    }
+    let threshold = qsim::noise::WERNER_CHSH_THRESHOLD;
+    let mut v = per_link_visibility;
+    let mut hops = 0;
+    while v * per_link_visibility > threshold {
+        v *= per_link_visibility;
+        hops += 1;
+    }
+    hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::{bell, tomography};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn swapping_perfect_pairs_yields_perfect_pair() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ideal = DensityMatrix::from_pure(&bell::phi_plus());
+        for _ in 0..20 {
+            let out = entanglement_swap(&ideal, &ideal, &mut rng).unwrap();
+            let f = out.pair.fidelity_with_pure(&bell::phi_plus()).unwrap();
+            assert!(
+                (f - 1.0).abs() < 1e-9,
+                "swap fidelity {f} (m1={}, m2={})",
+                out.m1,
+                out.m2
+            );
+        }
+    }
+
+    #[test]
+    fn all_four_heralds_occur() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ideal = DensityMatrix::from_pure(&bell::phi_plus());
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let out = entanglement_swap(&ideal, &ideal, &mut rng).unwrap();
+            seen[(out.m1 * 2 + out.m2) as usize] = true;
+        }
+        assert_eq!(seen, [true; 4], "all BSM outcomes should occur");
+    }
+
+    #[test]
+    fn werner_visibilities_multiply() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for (v1, v2) in [(1.0, 0.8), (0.9, 0.9), (0.7, 0.6)] {
+            let pair = swap_werner_pairs(v1, v2, &mut rng).unwrap();
+            let v_out = tomography::werner_visibility(&pair).unwrap();
+            assert!(
+                (v_out - v1 * v2).abs() < 1e-9,
+                "v1={v1} v2={v2}: got {v_out}, expected {}",
+                v1 * v2
+            );
+        }
+    }
+
+    #[test]
+    fn swapped_pair_is_valid_state() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pair = swap_werner_pairs(0.85, 0.85, &mut rng).unwrap();
+        assert!(pair.is_valid(1e-8));
+        assert_eq!(pair.n_qubits(), 2);
+    }
+
+    #[test]
+    fn hop_budget() {
+        // v = 0.95 per link: v^(h+1) > 0.7071 → h+1 < ln(.7071)/ln(.95)
+        // ≈ 6.76 → 5 swaps (6 links).
+        assert_eq!(max_useful_hops(0.95), 5);
+        assert_eq!(max_useful_hops(1.0), usize::MAX);
+        assert_eq!(max_useful_hops(0.5), 0);
+    }
+
+    #[test]
+    fn wrong_sizes_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let one = DensityMatrix::maximally_mixed(1);
+        let two = DensityMatrix::maximally_mixed(2);
+        assert!(entanglement_swap(&one, &two, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,352 @@
+//! A small quantum-circuit builder.
+//!
+//! Convenience layer over [`StateVector`]'s gate application: build a
+//! reusable op list once, run it against fresh registers many times (the
+//! pattern the entanglement source uses — the same preparation circuit per
+//! emitted pair).
+
+use crate::error::SimError;
+use crate::gates::{self, Gate1, Gate2};
+use crate::state::StateVector;
+
+/// One circuit operation.
+#[derive(Debug, Clone, Copy)]
+pub enum Op {
+    /// A single-qubit gate.
+    Gate1 {
+        /// Target qubit.
+        qubit: usize,
+        /// The 2×2 unitary.
+        gate: Gate1,
+    },
+    /// A singly-controlled single-qubit gate.
+    Controlled {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+        /// The 2×2 unitary applied when the control is |1⟩.
+        gate: Gate1,
+    },
+    /// An arbitrary two-qubit gate.
+    Gate2 {
+        /// First operand.
+        a: usize,
+        /// Second operand.
+        b: usize,
+        /// The 4×4 unitary.
+        gate: Gate2,
+    },
+}
+
+/// A fixed sequence of gates on `n` qubits.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    n_qubits: usize,
+    ops: Vec<Op>,
+}
+
+impl Circuit {
+    /// An empty circuit on `n` qubits.
+    pub fn new(n_qubits: usize) -> Self {
+        Circuit {
+            n_qubits,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the circuit contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    fn check(&self, qubit: usize) -> usize {
+        assert!(
+            qubit < self.n_qubits,
+            "qubit {qubit} out of range for {}-qubit circuit",
+            self.n_qubits
+        );
+        qubit
+    }
+
+    /// Appends an arbitrary single-qubit gate.
+    pub fn gate1(&mut self, qubit: usize, gate: Gate1) -> &mut Self {
+        self.check(qubit);
+        self.ops.push(Op::Gate1 { qubit, gate });
+        self
+    }
+
+    /// Appends a controlled single-qubit gate.
+    pub fn controlled(&mut self, control: usize, target: usize, gate: Gate1) -> &mut Self {
+        self.check(control);
+        self.check(target);
+        assert_ne!(control, target, "control and target must differ");
+        self.ops.push(Op::Controlled {
+            control,
+            target,
+            gate,
+        });
+        self
+    }
+
+    /// Appends an arbitrary two-qubit gate.
+    pub fn gate2(&mut self, a: usize, b: usize, gate: Gate2) -> &mut Self {
+        self.check(a);
+        self.check(b);
+        assert_ne!(a, b, "two-qubit gate operands must differ");
+        self.ops.push(Op::Gate2 { a, b, gate });
+        self
+    }
+
+    /// Hadamard.
+    pub fn h(&mut self, qubit: usize) -> &mut Self {
+        self.gate1(qubit, gates::h())
+    }
+
+    /// Pauli-X.
+    pub fn x(&mut self, qubit: usize) -> &mut Self {
+        self.gate1(qubit, gates::x())
+    }
+
+    /// Pauli-Y.
+    pub fn y(&mut self, qubit: usize) -> &mut Self {
+        self.gate1(qubit, gates::y())
+    }
+
+    /// Pauli-Z.
+    pub fn z(&mut self, qubit: usize) -> &mut Self {
+        self.gate1(qubit, gates::z())
+    }
+
+    /// Phase gate S.
+    pub fn s(&mut self, qubit: usize) -> &mut Self {
+        self.gate1(qubit, gates::s())
+    }
+
+    /// T gate.
+    pub fn t(&mut self, qubit: usize) -> &mut Self {
+        self.gate1(qubit, gates::t())
+    }
+
+    /// Y-rotation.
+    pub fn ry(&mut self, qubit: usize, theta: f64) -> &mut Self {
+        self.gate1(qubit, gates::ry(theta))
+    }
+
+    /// Z-rotation.
+    pub fn rz(&mut self, qubit: usize, theta: f64) -> &mut Self {
+        self.gate1(qubit, gates::rz(theta))
+    }
+
+    /// X-rotation.
+    pub fn rx(&mut self, qubit: usize, theta: f64) -> &mut Self {
+        self.gate1(qubit, gates::rx(theta))
+    }
+
+    /// CNOT.
+    pub fn cnot(&mut self, control: usize, target: usize) -> &mut Self {
+        self.controlled(control, target, gates::x())
+    }
+
+    /// Controlled-Z.
+    pub fn cz(&mut self, a: usize, b: usize) -> &mut Self {
+        self.controlled(a, b, gates::z())
+    }
+
+    /// SWAP.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.gate2(a, b, gates::swap())
+    }
+
+    /// Applies the circuit to an existing state.
+    ///
+    /// # Errors
+    /// [`SimError::SizeMismatch`] if the register size differs from the
+    /// circuit's qubit count.
+    pub fn apply_to(&self, state: &mut StateVector) -> Result<(), SimError> {
+        if state.n_qubits() != self.n_qubits {
+            return Err(SimError::SizeMismatch {
+                op: "Circuit::apply_to",
+                lhs: self.n_qubits,
+                rhs: state.n_qubits(),
+            });
+        }
+        for op in &self.ops {
+            match *op {
+                Op::Gate1 { qubit, gate } => state.apply_gate1(qubit, &gate)?,
+                Op::Controlled {
+                    control,
+                    target,
+                    gate,
+                } => state.apply_controlled(control, target, &gate)?,
+                Op::Gate2 { a, b, gate } => state.apply_gate2(a, b, &gate)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the circuit from `|0…0⟩`.
+    pub fn run(&self) -> StateVector {
+        let mut s = StateVector::zero(self.n_qubits);
+        self.apply_to(&mut s).expect("matching register size");
+        s
+    }
+
+    /// The inverse circuit: daggered gates in reverse order.
+    pub fn inverse(&self) -> Circuit {
+        let ops = self
+            .ops
+            .iter()
+            .rev()
+            .map(|op| match *op {
+                Op::Gate1 { qubit, gate } => Op::Gate1 {
+                    qubit,
+                    gate: gates::dagger(&gate),
+                },
+                Op::Controlled {
+                    control,
+                    target,
+                    gate,
+                } => Op::Controlled {
+                    control,
+                    target,
+                    gate: gates::dagger(&gate),
+                },
+                Op::Gate2 { a, b, gate } => Op::Gate2 {
+                    a,
+                    b,
+                    gate: dagger2(&gate),
+                },
+            })
+            .collect();
+        Circuit {
+            n_qubits: self.n_qubits,
+            ops,
+        }
+    }
+
+    /// The Bell-pair preparation circuit (H then CNOT).
+    pub fn bell_pair() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        c
+    }
+
+    /// The GHZ(n) preparation circuit.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn ghz(n: usize) -> Circuit {
+        assert!(n >= 1);
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 1..n {
+            c.cnot(0, q);
+        }
+        c
+    }
+}
+
+/// Conjugate transpose of a two-qubit gate.
+fn dagger2(g: &Gate2) -> Gate2 {
+    let mut out = [[qmath::C64::ZERO; 4]; 4];
+    for (r, row) in out.iter_mut().enumerate() {
+        for (c, cell) in row.iter_mut().enumerate() {
+            *cell = g[c][r].conj();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bell;
+
+    #[test]
+    fn bell_circuit_matches_constructor() {
+        let s = Circuit::bell_pair().run();
+        assert!((s.fidelity(&bell::phi_plus()).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_circuit_matches_constructor() {
+        for n in [1usize, 2, 3, 5] {
+            let s = Circuit::ghz(n).run();
+            assert!((s.fidelity(&bell::ghz(n)).unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inverse_undoes_circuit() {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .t(1)
+            .cnot(0, 2)
+            .ry(1, 0.7)
+            .cz(1, 2)
+            .swap(0, 1)
+            .rz(2, -1.3)
+            .s(0);
+        let mut s = c.run();
+        c.inverse().apply_to(&mut s).unwrap();
+        let zero = StateVector::zero(3);
+        assert!((s.fidelity(&zero).unwrap() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn apply_to_checks_register_size() {
+        let c = Circuit::bell_pair();
+        let mut s = StateVector::zero(3);
+        assert!(matches!(
+            c.apply_to(&mut s),
+            Err(SimError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_validates_qubits() {
+        let result = std::panic::catch_unwind(|| {
+            let mut c = Circuit::new(2);
+            c.h(2);
+        });
+        assert!(result.is_err());
+        let result = std::panic::catch_unwind(|| {
+            let mut c = Circuit::new(2);
+            c.cnot(1, 1);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut c = Circuit::new(1);
+        assert!(c.is_empty());
+        c.h(0).x(0);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn composite_gates_agree_with_primitive_path() {
+        // x then z via circuit equals direct application.
+        let mut c = Circuit::new(1);
+        c.x(0).z(0).y(0).rx(0, 0.4);
+        let s1 = c.run();
+        let mut s2 = StateVector::zero(1);
+        s2.apply_gate1(0, &gates::x()).unwrap();
+        s2.apply_gate1(0, &gates::z()).unwrap();
+        s2.apply_gate1(0, &gates::y()).unwrap();
+        s2.apply_gate1(0, &gates::rx(0.4)).unwrap();
+        assert!((s1.fidelity(&s2).unwrap() - 1.0).abs() < 1e-12);
+    }
+}

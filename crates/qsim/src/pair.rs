@@ -1,0 +1,385 @@
+//! Locality-enforcing shared entangled states.
+//!
+//! In the real architecture (paper Fig. 1) each server holds *one photon*
+//! of an entangled state and can only measure it in a basis of its own
+//! choosing. This module reproduces that interface faithfully: a
+//! [`SharedState`] owns the joint state (playing the role of physics), and
+//! each party interacts with it exclusively through
+//! [`SharedState::measure`] on *its own* qubit index. There is no API for a
+//! party's input to influence another party's marginal — the no-signaling
+//! property — and each qubit can be measured only once (measurement is
+//! destructive, §2).
+//!
+//! Measurement order does not matter: quantum mechanics guarantees the
+//! joint outcome distribution is order-independent, and the simulation
+//! inherits this from projective measurement on the joint state (verified
+//! by tests below).
+
+use crate::bell;
+use crate::density::DensityMatrix;
+use crate::error::SimError;
+use crate::measure::{measure_in_basis, Basis1};
+use crate::state::StateVector;
+use rand::Rng;
+
+/// Which endpoint of a [`SharedPair`] is acting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Party {
+    /// The first endpoint (qubit 0).
+    A,
+    /// The second endpoint (qubit 1).
+    B,
+}
+
+impl Party {
+    /// The qubit index this party holds.
+    #[inline]
+    pub fn qubit(self) -> usize {
+        match self {
+            Party::A => 0,
+            Party::B => 1,
+        }
+    }
+
+    /// The other party.
+    #[inline]
+    pub fn other(self) -> Party {
+        match self {
+            Party::A => Party::B,
+            Party::B => Party::A,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Inner {
+    Pure(StateVector),
+    Mixed(DensityMatrix),
+}
+
+/// An n-party shared entangled state: one qubit per party, each
+/// measurable exactly once, in a basis chosen by its holder.
+#[derive(Debug, Clone)]
+pub struct SharedState {
+    inner: Inner,
+    measured: Vec<bool>,
+}
+
+impl SharedState {
+    /// Shares a pure state among `n` parties (one qubit each).
+    pub fn from_pure(state: StateVector) -> Self {
+        let n = state.n_qubits();
+        SharedState {
+            inner: Inner::Pure(state),
+            measured: vec![false; n],
+        }
+    }
+
+    /// Shares a mixed state among `n` parties (one qubit each).
+    pub fn from_density(rho: DensityMatrix) -> Self {
+        let n = rho.n_qubits();
+        SharedState {
+            inner: Inner::Mixed(rho),
+            measured: vec![false; n],
+        }
+    }
+
+    /// An n-party GHZ state.
+    pub fn ghz(n: usize) -> Self {
+        SharedState::from_pure(bell::ghz(n))
+    }
+
+    /// Number of parties.
+    pub fn n_parties(&self) -> usize {
+        self.measured.len()
+    }
+
+    /// Whether `party`'s qubit has been consumed.
+    pub fn is_measured(&self, party: usize) -> bool {
+        self.measured.get(party).copied().unwrap_or(true)
+    }
+
+    /// Party `party` measures its own qubit in `basis`. Consumes the
+    /// qubit; a second call for the same party fails.
+    ///
+    /// # Errors
+    /// [`SimError::QubitOutOfRange`] / [`SimError::AlreadyMeasured`].
+    pub fn measure<R: Rng + ?Sized>(
+        &mut self,
+        party: usize,
+        basis: &Basis1,
+        rng: &mut R,
+    ) -> Result<u8, SimError> {
+        if party >= self.measured.len() {
+            return Err(SimError::QubitOutOfRange {
+                qubit: party,
+                n_qubits: self.measured.len(),
+            });
+        }
+        if self.measured[party] {
+            return Err(SimError::AlreadyMeasured { party: "party" });
+        }
+        let outcome = match &mut self.inner {
+            Inner::Pure(sv) => measure_in_basis(sv, party, basis, rng)?,
+            Inner::Mixed(rho) => rho.measure_in_basis(party, basis, rng)?,
+        };
+        self.measured[party] = true;
+        Ok(outcome)
+    }
+
+    /// Convenience: measure in the real rotated basis at `theta`.
+    ///
+    /// # Errors
+    /// Same as [`Self::measure`].
+    pub fn measure_angle<R: Rng + ?Sized>(
+        &mut self,
+        party: usize,
+        theta: f64,
+        rng: &mut R,
+    ) -> Result<u8, SimError> {
+        self.measure(party, &Basis1::angle(theta), rng)
+    }
+}
+
+/// A two-party shared entangled state — the Bell pair delivered by the
+/// Fig. 1 quantum computer — with the same locality-enforcing interface.
+///
+/// ```
+/// use qsim::{Party, SharedPair};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut pair = SharedPair::ideal();
+/// // Same measurement angle ⇒ perfectly correlated outcomes.
+/// let a = pair.measure_angle(Party::A, 0.3, &mut rng).unwrap();
+/// let b = pair.measure_angle(Party::B, 0.3, &mut rng).unwrap();
+/// assert_eq!(a, b);
+/// // Measurement is destructive: a second measurement fails.
+/// assert!(pair.measure_angle(Party::A, 0.0, &mut rng).is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedPair {
+    state: SharedState,
+}
+
+impl SharedPair {
+    /// A perfect `|Φ⁺⟩` Bell pair.
+    pub fn ideal() -> Self {
+        SharedPair {
+            state: SharedState::from_pure(bell::phi_plus()),
+        }
+    }
+
+    /// A noisy Bell pair: Werner state with the given visibility.
+    ///
+    /// # Errors
+    /// [`SimError::BadProbability`] if `visibility ∉ [0, 1]`.
+    pub fn werner(visibility: f64) -> Result<Self, SimError> {
+        Ok(SharedPair {
+            state: SharedState::from_density(crate::noise::werner(visibility)?),
+        })
+    }
+
+    /// Shares an arbitrary two-qubit pure state.
+    ///
+    /// # Errors
+    /// [`SimError::SizeMismatch`] if the state is not on exactly 2 qubits.
+    pub fn from_pure(state: StateVector) -> Result<Self, SimError> {
+        if state.n_qubits() != 2 {
+            return Err(SimError::SizeMismatch {
+                op: "SharedPair::from_pure",
+                lhs: 2,
+                rhs: state.n_qubits(),
+            });
+        }
+        Ok(SharedPair {
+            state: SharedState::from_pure(state),
+        })
+    }
+
+    /// Shares an arbitrary two-qubit mixed state.
+    ///
+    /// # Errors
+    /// [`SimError::SizeMismatch`] if the state is not on exactly 2 qubits.
+    pub fn from_density(rho: DensityMatrix) -> Result<Self, SimError> {
+        if rho.n_qubits() != 2 {
+            return Err(SimError::SizeMismatch {
+                op: "SharedPair::from_density",
+                lhs: 2,
+                rhs: rho.n_qubits(),
+            });
+        }
+        Ok(SharedPair {
+            state: SharedState::from_density(rho),
+        })
+    }
+
+    /// `party` measures its qubit in the angle-θ basis (destructive).
+    ///
+    /// # Errors
+    /// [`SimError::AlreadyMeasured`] on double measurement.
+    pub fn measure_angle<R: Rng + ?Sized>(
+        &mut self,
+        party: Party,
+        theta: f64,
+        rng: &mut R,
+    ) -> Result<u8, SimError> {
+        self.state.measure_angle(party.qubit(), theta, rng)
+    }
+
+    /// `party` measures its qubit in an arbitrary basis (destructive).
+    ///
+    /// # Errors
+    /// [`SimError::AlreadyMeasured`] on double measurement.
+    pub fn measure<R: Rng + ?Sized>(
+        &mut self,
+        party: Party,
+        basis: &Basis1,
+        rng: &mut R,
+    ) -> Result<u8, SimError> {
+        self.state.measure(party.qubit(), basis, rng)
+    }
+
+    /// Whether `party` has already consumed its qubit.
+    pub fn is_measured(&self, party: Party) -> bool {
+        self.state.is_measured(party.qubit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn double_measurement_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut pair = SharedPair::ideal();
+        pair.measure_angle(Party::A, 0.0, &mut rng).unwrap();
+        assert!(pair.is_measured(Party::A));
+        assert!(!pair.is_measured(Party::B));
+        assert!(matches!(
+            pair.measure_angle(Party::A, 0.5, &mut rng),
+            Err(SimError::AlreadyMeasured { .. })
+        ));
+        pair.measure_angle(Party::B, 0.3, &mut rng).unwrap();
+        assert!(pair.is_measured(Party::B));
+    }
+
+    #[test]
+    fn same_basis_perfectly_correlated() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for k in 0..8 {
+            let theta = k as f64 * 0.2;
+            for _ in 0..50 {
+                let mut pair = SharedPair::ideal();
+                let a = pair.measure_angle(Party::A, theta, &mut rng).unwrap();
+                let b = pair.measure_angle(Party::B, theta, &mut rng).unwrap();
+                assert_eq!(a, b, "theta = {theta}");
+            }
+        }
+    }
+
+    #[test]
+    fn measurement_order_does_not_change_statistics() {
+        // Empirically verify order independence of the joint distribution
+        // at angles (0, π/8): P(agree) = cos²(π/8) either way.
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 30_000;
+        let theta_b = std::f64::consts::FRAC_PI_8;
+        let mut agree_ab = 0u32;
+        let mut agree_ba = 0u32;
+        for _ in 0..trials {
+            let mut p1 = SharedPair::ideal();
+            let a = p1.measure_angle(Party::A, 0.0, &mut rng).unwrap();
+            let b = p1.measure_angle(Party::B, theta_b, &mut rng).unwrap();
+            agree_ab += u32::from(a == b);
+
+            let mut p2 = SharedPair::ideal();
+            let b2 = p2.measure_angle(Party::B, theta_b, &mut rng).unwrap();
+            let a2 = p2.measure_angle(Party::A, 0.0, &mut rng).unwrap();
+            agree_ba += u32::from(a2 == b2);
+        }
+        let f_ab = agree_ab as f64 / trials as f64;
+        let f_ba = agree_ba as f64 / trials as f64;
+        let expect = theta_b.cos().powi(2);
+        assert!((f_ab - expect).abs() < 0.02, "A-first: {f_ab}");
+        assert!((f_ba - expect).abs() < 0.02, "B-first: {f_ba}");
+    }
+
+    #[test]
+    fn marginals_are_uniform_regardless_of_peer_basis() {
+        // No-signaling smoke test: A's outcome distribution is 50/50 no
+        // matter what angle B uses (or whether B measures at all).
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 20_000;
+        for &b_theta in &[None, Some(0.0), Some(1.2)] {
+            let mut ones = 0u32;
+            for _ in 0..trials {
+                let mut pair = SharedPair::ideal();
+                if let Some(t) = b_theta {
+                    pair.measure_angle(Party::B, t, &mut rng).unwrap();
+                }
+                ones += pair.measure_angle(Party::A, 0.7, &mut rng).unwrap() as u32;
+            }
+            let f = ones as f64 / trials as f64;
+            assert!((f - 0.5).abs() < 0.02, "B basis {b_theta:?}: {f}");
+        }
+    }
+
+    #[test]
+    fn werner_pair_reduced_correlation() {
+        // Same-basis agreement on a Werner pair is (1+v)/2.
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = 0.6;
+        let trials = 20_000;
+        let mut agree = 0u32;
+        for _ in 0..trials {
+            let mut pair = SharedPair::werner(v).unwrap();
+            let a = pair.measure_angle(Party::A, 0.0, &mut rng).unwrap();
+            let b = pair.measure_angle(Party::B, 0.0, &mut rng).unwrap();
+            agree += u32::from(a == b);
+        }
+        let f = agree as f64 / trials as f64;
+        assert!((f - (1.0 + v) / 2.0).abs() < 0.02, "agree {f}");
+    }
+
+    #[test]
+    fn shared_state_ghz_parity() {
+        // All parties measuring GHZ(3) in the computational basis agree.
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            let mut st = SharedState::ghz(3);
+            let o0 = st.measure(0, &Basis1::computational(), &mut rng).unwrap();
+            let o1 = st.measure(1, &Basis1::computational(), &mut rng).unwrap();
+            let o2 = st.measure(2, &Basis1::computational(), &mut rng).unwrap();
+            assert_eq!(o0, o1);
+            assert_eq!(o1, o2);
+        }
+    }
+
+    #[test]
+    fn shared_state_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut st = SharedState::ghz(2);
+        assert_eq!(st.n_parties(), 2);
+        assert!(st.measure(2, &Basis1::computational(), &mut rng).is_err());
+        assert!(st.is_measured(5), "out of range counts as unusable");
+    }
+
+    #[test]
+    fn from_pure_wrong_size_rejected() {
+        assert!(SharedPair::from_pure(StateVector::zero(3)).is_err());
+        assert!(SharedPair::from_density(DensityMatrix::maximally_mixed(1)).is_err());
+    }
+
+    #[test]
+    fn party_helpers() {
+        assert_eq!(Party::A.qubit(), 0);
+        assert_eq!(Party::B.qubit(), 1);
+        assert_eq!(Party::A.other(), Party::B);
+        assert_eq!(Party::B.other(), Party::A);
+    }
+}

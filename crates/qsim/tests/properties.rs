@@ -1,0 +1,145 @@
+//! Property-based invariants of the quantum simulator.
+
+use proptest::prelude::*;
+use qsim::measure::Basis1;
+use qsim::{gates, DensityMatrix, StateVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A strategy generating one random single-qubit gate.
+fn arb_gate() -> impl Strategy<Value = gates::Gate1> {
+    (0u8..7, 0.0f64..std::f64::consts::TAU).prop_map(|(which, theta)| match which {
+        0 => gates::h(),
+        1 => gates::x(),
+        2 => gates::y(),
+        3 => gates::z(),
+        4 => gates::rx(theta),
+        5 => gates::ry(theta),
+        _ => gates::rz(theta),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any sequence of unitary gates preserves the state norm.
+    #[test]
+    fn random_circuits_preserve_norm(
+        ops in proptest::collection::vec((0usize..3, arb_gate()), 1..24))
+    {
+        let mut s = StateVector::zero(3);
+        for (q, g) in &ops {
+            s.apply_gate1(*q, g).expect("in range");
+        }
+        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    /// Statevector and density-matrix evolution agree for pure states.
+    #[test]
+    fn density_tracks_statevector(
+        ops in proptest::collection::vec((0usize..2, arb_gate()), 1..12))
+    {
+        let mut sv = StateVector::zero(2);
+        let mut rho = DensityMatrix::from_pure(&sv);
+        for (q, g) in &ops {
+            sv.apply_gate1(*q, g).expect("in range");
+            rho.apply_gate1(*q, g).expect("in range");
+        }
+        let expect = DensityMatrix::from_pure(&sv);
+        prop_assert!(rho.matrix().max_abs_diff(expect.matrix()) < 1e-9);
+        prop_assert!((rho.purity() - 1.0).abs() < 1e-9);
+    }
+
+    /// Measurement probabilities of each qubit sum to 1 and repeated
+    /// measurement is consistent (projective).
+    #[test]
+    fn measurement_consistency(
+        ops in proptest::collection::vec((0usize..2, arb_gate()), 1..10),
+        theta in 0.0f64..std::f64::consts::TAU,
+        seed in 0u64..1000)
+    {
+        let mut s = StateVector::zero(2);
+        for (q, g) in &ops {
+            s.apply_gate1(*q, g).expect("in range");
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let basis = Basis1::angle(theta);
+        let o1 = qsim::measure_in_basis(&mut s, 0, &basis, &mut rng).expect("in range");
+        let o2 = qsim::measure_in_basis(&mut s, 0, &basis, &mut rng).expect("in range");
+        prop_assert_eq!(o1, o2, "projective measurement must repeat");
+        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    /// The partial trace of a product state factorizes exactly.
+    #[test]
+    fn partial_trace_of_product_factorizes(
+        ops_a in proptest::collection::vec(arb_gate(), 1..6),
+        ops_b in proptest::collection::vec(arb_gate(), 1..6))
+    {
+        let mut a = StateVector::zero(1);
+        for g in &ops_a {
+            a.apply_gate1(0, g).expect("in range");
+        }
+        let mut b = StateVector::zero(1);
+        for g in &ops_b {
+            b.apply_gate1(0, g).expect("in range");
+        }
+        let joint = DensityMatrix::from_pure(&a.tensor(&b));
+        let ra = joint.partial_trace(&[0]).expect("valid");
+        let rb = joint.partial_trace(&[1]).expect("valid");
+        prop_assert!(ra.matrix().max_abs_diff(DensityMatrix::from_pure(&a).matrix()) < 1e-9);
+        prop_assert!(rb.matrix().max_abs_diff(DensityMatrix::from_pure(&b).matrix()) < 1e-9);
+    }
+
+    /// Tensor-then-trace roundtrips for mixed states too.
+    #[test]
+    fn tensor_trace_roundtrip(v1 in 0.0f64..1.0, v2 in 0.0f64..1.0) {
+        let rho1 = qsim::noise::werner(v1).expect("valid");
+        let rho2 = qsim::noise::werner(v2).expect("valid");
+        let joint = rho1.tensor(&rho2);
+        prop_assert_eq!(joint.n_qubits(), 4);
+        let back1 = joint.partial_trace(&[0, 1]).expect("valid");
+        let back2 = joint.partial_trace(&[2, 3]).expect("valid");
+        prop_assert!(back1.matrix().max_abs_diff(rho1.matrix()) < 1e-9);
+        prop_assert!(back2.matrix().max_abs_diff(rho2.matrix()) < 1e-9);
+    }
+
+    /// Kraus channels preserve trace and positivity for arbitrary
+    /// parameters.
+    #[test]
+    fn channels_preserve_physicality(p in 0.0f64..1.0, v in 0.0f64..1.0) {
+        let rho = qsim::noise::werner(v).expect("valid");
+        for ch in [
+            qsim::noise::KrausChannel::depolarizing(p).expect("valid"),
+            qsim::noise::KrausChannel::dephasing(p).expect("valid"),
+            qsim::noise::KrausChannel::amplitude_damping(p).expect("valid"),
+        ] {
+            let out = ch.apply(&rho, 0).expect("in range");
+            prop_assert!((out.trace() - 1.0).abs() < 1e-9);
+            prop_assert!(out.is_valid(1e-7));
+        }
+    }
+
+    /// The Born rule: P(0) in the angle-θ basis for a Bloch-plane state
+    /// |ψ⟩ = cos(φ)|0⟩ + sin(φ)|1⟩ equals cos²(θ − φ).
+    #[test]
+    fn born_rule_in_rotated_bases(
+        phi in 0.0f64..std::f64::consts::TAU,
+        theta in 0.0f64..std::f64::consts::TAU,
+        seed in 0u64..64)
+    {
+        let mut s = StateVector::zero(1);
+        s.apply_gate1(0, &gates::plane_rotation(phi)).expect("in range");
+        // Rotate so the measurement basis becomes computational.
+        let basis = Basis1::angle(theta);
+        let mut probe = s.clone();
+        probe.apply_gate1(0, &basis.to_computational()).expect("in range");
+        let p0 = probe.probability(0);
+        let expect = (theta - phi).cos().powi(2);
+        prop_assert!((p0 - expect).abs() < 1e-9, "p0 {} vs {}", p0, expect);
+        // And sampling agrees with probabilities in distribution (one
+        // draw only — full statistics are covered by unit tests).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let _ = qsim::measure_in_basis(&mut s, 0, &basis, &mut rng).expect("in range");
+    }
+}

@@ -1,0 +1,66 @@
+//! # qnlg — quantum non-local games for networked systems
+//!
+//! A full Rust reproduction of *"Faster-than-light coordination for
+//! networked systems with quantum non-local games"* (Arun, Chidambaram,
+//! Aaronson — HotNets '25).
+//!
+//! Quantum entanglement lets spatially-separated parties produce
+//! **correlated random decisions without communicating** — strictly
+//! stronger correlations than any classical shared-randomness scheme can
+//! achieve. This workspace packages that capability for networked
+//! systems:
+//!
+//! - [`core`](qnlg_core) — the coordination primitives
+//!   ([`qnlg_core::ColocationCoordinator`],
+//!   [`qnlg_core::AffinityCoordinator`]): decide locally and instantly,
+//!   correlated with your peer.
+//! - [`games`] — the theory: CHSH, XOR games, quantum/classical values,
+//!   GHZ multiparty games.
+//! - [`qsim`] — exact statevector/density-matrix simulation standing in
+//!   for the entangled-photon hardware.
+//! - [`qnet`] — discrete-event model of the paper's architecture (SPDC
+//!   source, fiber, quantum NICs with finite memory lifetime).
+//! - [`loadbalance`] — the Figure 4 simulation: CHSH-paired load
+//!   balancers beat every classical strategy at moderate-to-high load.
+//! - [`ecmp`] — the negative result: no quantum advantage for ECMP-style
+//!   routing, verified numerically.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qnlg::qnlg_core::{CoordinatorBuilder, TaskClass};
+//!
+//! // One coordinator, two endpoints — one per load balancer.
+//! let coordinator = CoordinatorBuilder::new().seed(42).build_colocation();
+//! let (alice, bob) = coordinator.endpoints();
+//!
+//! // Requests arrive; each balancer decides locally, with zero latency.
+//! let server_a = alice.decide_server(TaskClass::Colocate, 16);
+//! let server_b = bob.decide_server(TaskClass::Colocate, 16);
+//! // Both type-C: same server with probability cos²(π/8) ≈ 0.854 —
+//! // impossible classically without communication (max 0.75).
+//! assert!(server_a < 16 && server_b < 16);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/repro.rs` for the harness that regenerates every
+//! figure in the paper.
+
+pub use ecmp;
+pub use games;
+pub use loadbalance;
+pub use qmath;
+pub use qnet;
+pub use qnlg_core;
+pub use qsim;
+
+/// The library version (workspace-wide).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

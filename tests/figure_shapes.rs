@@ -1,0 +1,89 @@
+//! Shape checks for the paper's two figures, at reduced Monte-Carlo
+//! budget: who wins, roughly by how much, and where the knee falls.
+//! (The full-budget versions are `repro fig3` / `repro fig4`.)
+
+use qnlg::games::graph::advantage_probability;
+use qnlg::loadbalance::metrics::knee_load;
+use qnlg::loadbalance::sim::load_sweep;
+use qnlg::loadbalance::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn fig3_shape_zero_at_extremes_high_in_middle() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let p0 = advantage_probability(5, 0.0, 20, 1e-4, &mut rng);
+    let p_mid = advantage_probability(5, 0.5, 30, 1e-4, &mut rng);
+    assert_eq!(p0, 0.0, "all-affinity graphs are classically perfect");
+    assert!(
+        p_mid > 0.35,
+        "mid-range advantage probability {p_mid} too low"
+    );
+}
+
+#[test]
+fn fig3_caption_more_vertices_more_advantage() {
+    // "The probability of achieving a quantum advantage increases with
+    // the number of vertices" — compare 3 vs 6 vertices at p = 0.5.
+    let mut rng = StdRng::seed_from_u64(32);
+    let p3 = advantage_probability(3, 0.5, 40, 1e-4, &mut rng);
+    let p6 = advantage_probability(6, 0.5, 40, 1e-4, &mut rng);
+    assert!(
+        p6 > p3,
+        "6-vertex advantage rate {p6} should exceed 3-vertex {p3}"
+    );
+}
+
+#[test]
+fn fig4_quantum_knee_strictly_later() {
+    let loads = [0.9, 1.0, 1.05, 1.1, 1.15];
+    let mut rng = StdRng::seed_from_u64(33);
+    let classical = load_sweep(Strategy::UniformRandom, &loads, &mut rng);
+    let quantum = load_sweep(Strategy::quantum_ideal(), &loads, &mut rng);
+
+    let ck = knee_load(&classical, 5.0).expect("classical must saturate in range");
+    // If quantum never crosses in range it is strictly later than
+    // classical by definition.
+    if let Some(qk) = knee_load(&quantum, 5.0) {
+        assert!(qk > ck, "quantum knee {qk} vs classical {ck}");
+    }
+
+    // And pointwise dominance at and past the classical knee.
+    for ((load, cq), (_, qq)) in classical.iter().zip(&quantum) {
+        if *load >= ck {
+            assert!(
+                qq < cq,
+                "at load {load}: quantum {qq} must be below classical {cq}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig4_quantum_beats_every_classical_pairing_at_the_knee() {
+    // In the knee region the quantum pairing beats BOTH classical pairing
+    // extremes — not just naive random. (In deep saturation, match-types
+    // catches up: its 100% CC-co-location maximizes raw C-throughput and
+    // EE collisions stop costing anything once queues never drain. That
+    // crossover is measured and documented in EXPERIMENTS.md E2; the
+    // paper's Pareto-frontier claim is about the knee region, where
+    // placement quality — not raw throughput — is what matters.)
+    let loads = [1.0, 1.05];
+    let mut rng = StdRng::seed_from_u64(34);
+    let quantum = load_sweep(Strategy::quantum_ideal(), &loads, &mut rng);
+    let split = load_sweep(Strategy::PairedAlwaysSplit, &loads, &mut rng);
+    let match_types = load_sweep(Strategy::PairedMatchTypes, &loads, &mut rng);
+    for i in 0..loads.len() {
+        let (load, q) = quantum[i];
+        assert!(
+            q < split[i].1,
+            "at load {load}: quantum {q} vs always-split {}",
+            split[i].1
+        );
+        assert!(
+            q < match_types[i].1,
+            "at load {load}: quantum {q} vs match-types {}",
+            match_types[i].1
+        );
+    }
+}
