@@ -1,0 +1,21 @@
+# Local mirror of .github/workflows/ci.yml — `make ci` is the gate a
+# change must pass before it lands.
+
+CARGO ?= cargo
+
+.PHONY: ci build test clippy bench-sweep
+
+ci: build test clippy
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+# Spawn-per-point vs pooled executor + CorrelationBox sampling kernels.
+bench-sweep:
+	$(CARGO) bench -p qnlg-bench --bench sweep

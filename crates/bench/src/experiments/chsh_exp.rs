@@ -10,37 +10,42 @@ use games::chsh::{ChshGame, ClassicalChshStrategy, QuantumChshStrategy};
 use games::game::{empirical_win_rate, IndependentRandomStrategy};
 use games::multiparty;
 use games::{ChshVariant, XorGame};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Runs the CHSH validation experiment.
+///
+/// The six Monte-Carlo rows are independent, so they run concurrently on
+/// the shared pool, each on its own deterministic seed stream.
 pub fn run(quick: bool) -> String {
     let rounds = if quick { 20_000 } else { 500_000 };
-    let mut rng = StdRng::seed_from_u64(crate::point_seed(3, 0, 0));
     let game = ChshGame::standard();
-
-    let classical = empirical_win_rate(
-        &game,
-        &mut ClassicalChshStrategy::optimal(ChshVariant::Standard),
-        rounds,
-        &mut rng,
-    );
-    let independent = empirical_win_rate(&game, &mut IndependentRandomStrategy, rounds, &mut rng);
-    let quantum = empirical_win_rate(&game, &mut QuantumChshStrategy::ideal(), rounds, &mut rng);
-    let flipped = empirical_win_rate(
-        &ChshGame::flipped(),
-        &mut QuantumChshStrategy::ideal_flipped(),
-        rounds,
-        &mut rng,
-    );
-
     let xor = XorGame::chsh();
+
+    let tasks: Vec<usize> = (0..6).collect();
+    let mc = runtime::par_sweep(crate::point_seed(3, 0, 0), &tasks, |_, &task, rng| match task {
+        0 => empirical_win_rate(
+            &game,
+            &mut ClassicalChshStrategy::optimal(ChshVariant::Standard),
+            rounds,
+            rng,
+        ),
+        1 => empirical_win_rate(&game, &mut IndependentRandomStrategy, rounds, rng),
+        2 => empirical_win_rate(&game, &mut QuantumChshStrategy::ideal(), rounds, rng),
+        3 => empirical_win_rate(
+            &ChshGame::flipped(),
+            &mut QuantumChshStrategy::ideal_flipped(),
+            rounds,
+            rng,
+        ),
+        4 => xor.quantum_solution(8, rng).value,
+        _ => multiparty::quantum_win_rate(if quick { 2_000 } else { 20_000 }, rng),
+    });
+    let (classical, independent, quantum, flipped, solver_quantum, ghz_quantum) =
+        (mc[0], mc[1], mc[2], mc[3], mc[4], mc[5]);
+
     let solver_classical = xor.classical_value();
-    let solver_quantum = xor.quantum_solution(8, &mut rng).value;
     let solver_pgd = (1.0 + xor.quantum_bias_pgd(if quick { 150 } else { 500 })) / 2.0;
 
     let ghz_classical = multiparty::classical_optimum();
-    let ghz_quantum = multiparty::quantum_win_rate(if quick { 2_000 } else { 20_000 }, &mut rng);
 
     let mut t = Table::new(vec!["quantity", "measured", "theory"]);
     t.row(vec!["CHSH independent-random".into(), f4(independent), f4(0.5)]);

@@ -22,54 +22,68 @@ pub fn run(quick: bool) -> String {
     let mut rng = StdRng::seed_from_u64(crate::point_seed(4, 0, 0));
     let mut out = String::new();
 
-    // Part 1: reduction invariance.
-    let mut worst: f64 = 0.0;
+    // Part 1: reduction invariance — deterministic, fanned out over the
+    // pool one basis triple at a time.
     let angles = [0.0, 0.5, 1.1, 2.3];
-    for state in [bell::ghz(3), bell::w_state(3)] {
+    let states = [bell::ghz(3), bell::w_state(3)];
+    let mut triples = Vec::new();
+    for si in 0..states.len() {
         for &ta in &angles {
             for &tb in &angles {
                 for &tc in &angles {
-                    let dev = reduction_deviation(
-                        &state,
-                        &Basis1::angle(ta),
-                        &Basis1::angle(tb),
-                        &Basis1::angle(tc),
-                    )
-                    .expect("3-party state");
-                    worst = worst.max(dev);
+                    triples.push((si, ta, tb, tc));
                 }
             }
         }
     }
+    let worst = runtime::par_map(&triples, |_, &(si, ta, tb, tc)| {
+        reduction_deviation(
+            &states[si],
+            &Basis1::angle(ta),
+            &Basis1::angle(tb),
+            &Basis1::angle(tc),
+        )
+        .expect("3-party state")
+    })
+    .into_iter()
+    .fold(0.0f64, f64::max);
     out.push_str(&format!(
         "E4 — §4.2 no-signaling reduction: max |P_traced − P_C-measured-first| \
          over GHZ/W × {} basis triples = {worst:.2e}\n\n",
         2 * angles.len().pow(3)
     ));
 
-    // Part 2: collision probabilities for the minimal scenario.
+    // Part 2: collision probabilities for the minimal scenario. Each
+    // strategy row runs on its own seed stream, concurrently.
     let scenario = EcmpScenario::minimal();
+    let rows = [
+        "iid-random",
+        "shared-permutation",
+        "ghz-spread-angles",
+        "w-spread-angles",
+    ];
+    let row_ids: Vec<usize> = (0..rows.len()).collect();
+    let probs = runtime::par_sweep(crate::point_seed(4, 1, 0), &row_ids, |_, &row, rng| {
+        match row {
+            0 => run_rounds(scenario, &mut IidRandom, rounds, rng).collision_probability,
+            1 => {
+                let mut s = SharedPermutation::new(3, 2, rng);
+                run_rounds(scenario, &mut s, rounds, rng).collision_probability
+            }
+            2 => {
+                let mut s = GlobalEntangled::new(EntangledStateKind::Ghz, vec![0.0, 2.094, 4.189]);
+                run_rounds(scenario, &mut s, rounds, rng).collision_probability
+            }
+            _ => {
+                let mut s = GlobalEntangled::new(EntangledStateKind::W, vec![0.0, 2.094, 4.189]);
+                run_rounds(scenario, &mut s, rounds, rng).collision_probability
+            }
+        }
+    });
     let mut t = Table::new(vec!["strategy", "P(collision)"]);
-    let mut iid = IidRandom;
-    t.row(vec![
-        "iid-random".to_string(),
-        f4(run_rounds(scenario, &mut iid, rounds, &mut rng).collision_probability),
-    ]);
-    let mut perm = SharedPermutation::new(3, 2, &mut rng);
-    t.row(vec![
-        "shared-permutation".to_string(),
-        f4(run_rounds(scenario, &mut perm, rounds, &mut rng).collision_probability),
-    ]);
-    let mut ghz = GlobalEntangled::new(EntangledStateKind::Ghz, vec![0.0, 2.094, 4.189]);
-    t.row(vec![
-        "ghz-spread-angles".to_string(),
-        f4(run_rounds(scenario, &mut ghz, rounds, &mut rng).collision_probability),
-    ]);
-    let mut w = GlobalEntangled::new(EntangledStateKind::W, vec![0.0, 2.094, 4.189]);
-    t.row(vec![
-        "w-spread-angles".to_string(),
-        f4(run_rounds(scenario, &mut w, rounds, &mut rng).collision_probability),
-    ]);
+    for (name, p) in rows.iter().zip(&probs) {
+        t.row(vec![name.to_string(), f4(*p)]);
+    }
     t.row(vec![
         "pigeonhole floor (any)".to_string(),
         f4(pigeonhole_lower_bound(3)),

@@ -12,7 +12,6 @@ use games::graph::advantage_count;
 use qmath::stats::wilson;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Mutex;
 
 /// Advantage-detection tolerance: safely above solver noise (~1e-6),
 /// far below real advantages (≥ 1e-2 in this family).
@@ -39,19 +38,10 @@ pub fn run(quick: bool) -> String {
 pub fn run_vertices(quick: bool) -> String {
     let samples = if quick { 30 } else { 250 };
     let ns = [3usize, 4, 5, 6, 7];
-    let lock = Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for (i, &n) in ns.iter().enumerate() {
-            let lock = &lock;
-            scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(crate::point_seed(11, i as u64, 0));
-                let count = advantage_count(n, 0.5, samples, TOL, &mut rng);
-                lock.lock().expect("sweep lock").push((n, count));
-            });
-        }
+    let results = runtime::par_map(&ns, |i, &n| {
+        let mut rng = StdRng::seed_from_u64(crate::point_seed(11, i as u64, 0));
+        (n, advantage_count(n, 0.5, samples, TOL, &mut rng))
     });
-    let mut results = lock.into_inner().expect("sweep lock");
-    results.sort_by_key(|&(n, _)| n);
 
     let mut t = Table::new(vec!["vertices", "P(quantum advantage)"]);
     for (n, count) in &results {
@@ -65,21 +55,13 @@ pub fn run_vertices(quick: bool) -> String {
 }
 
 /// Parallel sweep over exclusivity probabilities, returning raw counts.
+/// Seeds are a function of the point index, so the output is identical
+/// at any worker count.
 fn parallel_sweep_counts(ps: &[f64], n_vertices: usize, samples: usize) -> Vec<(f64, usize)> {
-    let lock = Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for (i, &p) in ps.iter().enumerate() {
-            let lock = &lock;
-            scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(crate::point_seed(10, i as u64, 0));
-                let count = advantage_count(n_vertices, p, samples, TOL, &mut rng);
-                lock.lock().expect("sweep lock").push((p, count));
-            });
-        }
-    });
-    let mut results = lock.into_inner().expect("sweep lock");
-    results.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite probabilities"));
-    results
+    runtime::par_map(ps, |i, &p| {
+        let mut rng = StdRng::seed_from_u64(crate::point_seed(10, i as u64, 0));
+        (p, advantage_count(n_vertices, p, samples, TOL, &mut rng))
+    })
 }
 
 /// Fractional version used by the shape tests.

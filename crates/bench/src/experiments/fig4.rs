@@ -11,7 +11,6 @@ use loadbalance::strategy::Strategy;
 use loadbalance::task::BernoulliWorkload;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Mutex;
 
 fn strategies() -> Vec<(&'static str, Strategy)> {
     vec![
@@ -47,32 +46,30 @@ fn sim_point(
 
 /// The Figure 4 sweep: N = 100 balancers, load 0.6–1.5.
 pub fn run(quick: bool) -> String {
+    run_with_threads(runtime::thread_count(), quick)
+}
+
+/// Worker-count seam for [`run`]: every point's seed is a function of its
+/// grid coordinates only, so the rendered table is byte-identical at any
+/// `threads` (the determinism tests sweep this).
+pub fn run_with_threads(threads: usize, quick: bool) -> String {
     let (n, steps) = if quick { (40, 600) } else { (100, 3_000) };
     let loads: Vec<f64> = (6..=15).map(|i| i as f64 / 10.0).collect();
     let strategies = strategies();
 
-    let lock = Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for (si, (_, strategy)) in strategies.iter().enumerate() {
-            for (li, &load) in loads.iter().enumerate() {
-                let lock = &lock;
-                let strategy = *strategy;
-                scope.spawn(move || {
-                    let q = sim_point(
-                        n,
-                        load,
-                        steps,
-                        Discipline::PaperPairedC,
-                        strategy,
-                        crate::point_seed(40, si as u64, li as u64),
-                    );
-                    lock.lock().expect("sweep lock").push((si, li, q));
-                });
-            }
-        }
+    let points = runtime::grid2(strategies.len(), loads.len());
+    let flat = runtime::par_map_threads(threads, &points, |_, &(si, li)| {
+        sim_point(
+            n,
+            loads[li],
+            steps,
+            Discipline::PaperPairedC,
+            strategies[si].1,
+            crate::point_seed(40, si as u64, li as u64),
+        )
     });
     let mut cells = vec![vec![0.0f64; loads.len()]; strategies.len()];
-    for (si, li, q) in lock.into_inner().expect("sweep lock") {
+    for (&(si, li), q) in points.iter().zip(flat) {
         cells[si][li] = q;
     }
 
@@ -117,30 +114,26 @@ pub fn run_scaling(quick: bool) -> String {
     header.extend(ns.iter().map(|n| format!("N={n}")));
     let mut t = Table::new(header);
 
-    let lock = Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for (si, (_, strategy)) in strategies.iter().enumerate() {
-            for (li, &load) in loads.iter().enumerate() {
-                for (ni, &n) in ns.iter().enumerate() {
-                    let lock = &lock;
-                    let strategy = *strategy;
-                    scope.spawn(move || {
-                        let q = sim_point(
-                            n,
-                            load,
-                            steps,
-                            Discipline::PaperPairedC,
-                            strategy,
-                            crate::point_seed(41, (si * 2 + li) as u64, ni as u64),
-                        );
-                        lock.lock().expect("sweep lock").push((si, li, ni, q));
-                    });
-                }
+    let mut points = Vec::new();
+    for si in 0..strategies.len() {
+        for li in 0..loads.len() {
+            for ni in 0..ns.len() {
+                points.push((si, li, ni));
             }
         }
+    }
+    let flat = runtime::par_map(&points, |_, &(si, li, ni)| {
+        sim_point(
+            ns[ni],
+            loads[li],
+            steps,
+            Discipline::PaperPairedC,
+            strategies[si].1,
+            crate::point_seed(41, (si * 2 + li) as u64, ni as u64),
+        )
     });
     let mut cells = vec![vec![vec![0.0f64; ns.len()]; loads.len()]; strategies.len()];
-    for (si, li, ni, q) in lock.into_inner().expect("sweep lock") {
+    for (&(si, li, ni), q) in points.iter().zip(flat) {
         cells[si][li][ni] = q;
     }
     for (si, (name, _)) in strategies.iter().enumerate() {
@@ -176,9 +169,13 @@ pub fn run_disciplines(quick: bool) -> String {
         Discipline::SingleSlot,
     ];
     let mut t = Table::new(vec!["discipline", "classical q̄", "quantum q̄", "reduction"]);
+    let points = runtime::grid2(disciplines.len(), 2);
+    let flat = runtime::par_map(&points, |_, &(di, arm)| {
+        let strategy = if arm == 0 { Strategy::UniformRandom } else { Strategy::quantum_ideal() };
+        sim_point(n, load, steps, disciplines[di], strategy, crate::point_seed(42, di as u64, arm as u64))
+    });
     for (di, d) in disciplines.iter().enumerate() {
-        let c = sim_point(n, load, steps, *d, Strategy::UniformRandom, crate::point_seed(42, di as u64, 0));
-        let q = sim_point(n, load, steps, *d, Strategy::quantum_ideal(), crate::point_seed(42, di as u64, 1));
+        let (c, q) = (flat[di * 2], flat[di * 2 + 1]);
         let red = if c > 0.0 { format!("{:.0}%", 100.0 * (1.0 - q / c)) } else { "-".into() };
         t.row(vec![d.label().to_string(), f2(c), f2(q), red]);
     }
@@ -222,11 +219,31 @@ mod tests {
 
     #[test]
     fn single_slot_control_shows_no_quantum_benefit() {
-        // Without a co-location benefit, pairing C's together is useless:
-        // quantum and classical should be within noise of each other.
-        let c = sim_point(40, 0.9, 800, Discipline::SingleSlot, Strategy::UniformRandom, 7);
-        let q = sim_point(40, 0.9, 800, Discipline::SingleSlot, Strategy::quantum_ideal(), 8);
-        let rel = (c - q).abs() / c.max(1e-9);
-        assert!(rel < 0.35, "single-slot classical {c} vs quantum {q}");
+        // Without a co-location benefit, pairing C's together cannot
+        // help; quantum must not beat classical here. (It may be WORSE:
+        // engineered co-arrival of CC pairs at one-task-per-step servers
+        // adds arrival burstiness, so the check is one-sided.) Means over
+        // several seeds, since a single replicate has ~±20% spread.
+        let mean = |strategy: Strategy, lane: u64| -> f64 {
+            (0..4)
+                .map(|r| {
+                    sim_point(
+                        40,
+                        0.9,
+                        800,
+                        Discipline::SingleSlot,
+                        strategy,
+                        crate::point_seed(98, lane, r),
+                    )
+                })
+                .sum::<f64>()
+                / 4.0
+        };
+        let c = mean(Strategy::UniformRandom, 0);
+        let q = mean(Strategy::quantum_ideal(), 1);
+        assert!(
+            q > c * 0.9,
+            "single-slot quantum {q} improbably beat classical {c}"
+        );
     }
 }

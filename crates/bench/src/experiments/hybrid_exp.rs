@@ -35,46 +35,54 @@ pub fn run(quick: bool) -> String {
     header.extend(subtypes.iter().map(|k| k.to_string()));
     let mut t = Table::new(header);
 
-    for (si, (name, strategy)) in strategies.iter().enumerate() {
+    // One pool point per (strategy, subtype-count) cell; the tuned
+    // dedicated baseline runs its fraction grid inside its own point.
+    // Seeds are unchanged from the sequential version, so the table is
+    // identical at any worker count.
+    let points = runtime::grid2(strategies.len(), subtypes.len());
+    let cells = runtime::par_map(&points, |_, &(si, ki)| {
+        let (name, strategy) = strategies[si];
+        let k = subtypes[ki];
+        let config = SimConfig {
+            n_balancers: n,
+            n_servers: (n as f64 / load).round() as usize,
+            timesteps: steps,
+            warmup: steps / 4,
+            discipline: Discipline::PaperPairedC,
+        };
+        if name == "dedicated-best" {
+            // Tune the dedicated fraction per subtype count.
+            fractions
+                .iter()
+                .enumerate()
+                .map(|(fi, &f)| {
+                    let mut rng = StdRng::seed_from_u64(crate::point_seed(
+                        7,
+                        100 + fi as u64,
+                        ki as u64,
+                    ));
+                    let mut workload = BernoulliWorkload::new(0.5, k);
+                    run_simulation(
+                        config,
+                        Strategy::DedicatedServers {
+                            dedicated_fraction: f,
+                        },
+                        &mut workload,
+                        &mut rng,
+                    )
+                    .avg_queue_len
+                })
+                .fold(f64::INFINITY, f64::min)
+        } else {
+            let mut rng = StdRng::seed_from_u64(crate::point_seed(7, si as u64, ki as u64));
+            let mut workload = BernoulliWorkload::new(0.5, k);
+            run_simulation(config, strategy, &mut workload, &mut rng).avg_queue_len
+        }
+    });
+    for (si, (name, _)) in strategies.iter().enumerate() {
         let mut row = vec![name.to_string()];
-        for (ki, &k) in subtypes.iter().enumerate() {
-            let config = SimConfig {
-                n_balancers: n,
-                n_servers: (n as f64 / load).round() as usize,
-                timesteps: steps,
-                warmup: steps / 4,
-                discipline: Discipline::PaperPairedC,
-            };
-            let q = if *name == "dedicated-best" {
-                // Tune the dedicated fraction per subtype count.
-                fractions
-                    .iter()
-                    .enumerate()
-                    .map(|(fi, &f)| {
-                        let mut rng = StdRng::seed_from_u64(crate::point_seed(
-                            7,
-                            100 + fi as u64,
-                            ki as u64,
-                        ));
-                        let mut workload = BernoulliWorkload::new(0.5, k);
-                        run_simulation(
-                            config,
-                            Strategy::DedicatedServers {
-                                dedicated_fraction: f,
-                            },
-                            &mut workload,
-                            &mut rng,
-                        )
-                        .avg_queue_len
-                    })
-                    .fold(f64::INFINITY, f64::min)
-            } else {
-                let mut rng =
-                    StdRng::seed_from_u64(crate::point_seed(7, si as u64, ki as u64));
-                let mut workload = BernoulliWorkload::new(0.5, k);
-                run_simulation(config, *strategy, &mut workload, &mut rng).avg_queue_len
-            };
-            row.push(f2(q));
+        for ki in 0..subtypes.len() {
+            row.push(f2(cells[si * subtypes.len() + ki]));
         }
         t.row(row);
     }
@@ -99,7 +107,7 @@ pub fn run(quick: bool) -> String {
         ),
         ("paired-quantum", Strategy::quantum_ideal()),
     ];
-    for (bi, (name, strategy)) in bursty_rows.iter().enumerate() {
+    let bursty_queues = runtime::par_map(&bursty_rows, |bi, (_, strategy)| {
         let config = SimConfig {
             n_balancers: n,
             n_servers: (n as f64 / load).round() as usize,
@@ -109,8 +117,10 @@ pub fn run(quick: bool) -> String {
         };
         let mut rng = StdRng::seed_from_u64(crate::point_seed(7, 200 + bi as u64, 0));
         let mut workload = BurstyWorkload::new(0.85, 0.15, 0.002);
-        let r = run_simulation(config, *strategy, &mut workload, &mut rng);
-        t2.row(vec![name.to_string(), f2(r.avg_queue_len)]);
+        run_simulation(config, *strategy, &mut workload, &mut rng).avg_queue_len
+    });
+    for ((name, _), q) in bursty_rows.iter().zip(&bursty_queues) {
+        t2.row(vec![name.to_string(), f2(*q)]);
     }
 
     format!(

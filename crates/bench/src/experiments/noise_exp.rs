@@ -22,17 +22,20 @@ use rand::SeedableRng;
 /// Runs the noise ablations.
 pub fn run(quick: bool) -> String {
     let mut out = String::new();
-    let mut rng = StdRng::seed_from_u64(crate::point_seed(6, 0, 0));
 
-    // (a) CHSH vs visibility.
+    // (a) CHSH vs visibility — one pool point per visibility, each on its
+    // own seed stream.
     let rounds = if quick { 20_000 } else { 200_000 };
-    let mut t = Table::new(vec!["visibility", "CHSH win prob", "theory", "advantage?"]);
-    for v in [1.0, 0.9, 0.8, WERNER_CHSH_THRESHOLD, 0.6, 0.5] {
+    let vis = [1.0, 0.9, 0.8, WERNER_CHSH_THRESHOLD, 0.6, 0.5];
+    let rates = runtime::par_sweep(crate::point_seed(6, 0, 0), &vis, |_, &v, rng| {
         let mut s = QuantumChshStrategy::with_source(
             move || SharedPair::werner(v).expect("valid visibility"),
             ChshVariant::Standard,
         );
-        let rate = empirical_win_rate(&ChshGame::standard(), &mut s, rounds, &mut rng);
+        empirical_win_rate(&ChshGame::standard(), &mut s, rounds, rng)
+    });
+    let mut t = Table::new(vec!["visibility", "CHSH win prob", "theory", "advantage?"]);
+    for (&v, &rate) in vis.iter().zip(&rates) {
         let theory = 0.5 + v * std::f64::consts::SQRT_2 / 4.0;
         t.row(vec![
             f4(v),
@@ -61,32 +64,44 @@ pub fn run(quick: bool) -> String {
         run_simulation(config, strategy, &mut BernoulliWorkload::paper(), &mut rng)
             .avg_queue_len
     };
-    let classical = run_point(Strategy::UniformRandom, crate::point_seed(6, 1, 0));
-    let split = run_point(Strategy::PairedAlwaysSplit, crate::point_seed(6, 1, 1));
-    let mut t = Table::new(vec!["configuration", "avg queue @ load 1.2"]);
-    t.row(vec!["classical uniform-random".to_string(), f2(classical)]);
-    t.row(vec!["classical paired-split".to_string(), f2(split)]);
+    let mut rows: Vec<(String, Strategy, u64)> = vec![
+        (
+            "classical uniform-random".into(),
+            Strategy::UniformRandom,
+            crate::point_seed(6, 1, 0),
+        ),
+        (
+            "classical paired-split".into(),
+            Strategy::PairedAlwaysSplit,
+            crate::point_seed(6, 1, 1),
+        ),
+    ];
     for (vi, v) in [1.0, 0.9, 0.8, WERNER_CHSH_THRESHOLD, 0.5].iter().enumerate() {
-        let q = run_point(
+        rows.push((
+            format!("quantum, visibility {v:.3}"),
             Strategy::PairedQuantum {
                 mode: QuantumMode::FastSampling,
                 availability: 1.0,
                 visibility: *v,
             },
             crate::point_seed(6, 2, vi as u64),
-        );
-        t.row(vec![format!("quantum, visibility {v:.3}"), f2(q)]);
+        ));
     }
     for (ai, a) in [0.9, 0.7, 0.5].iter().enumerate() {
-        let q = run_point(
+        rows.push((
+            format!("quantum, availability {a:.1}"),
             Strategy::PairedQuantum {
                 mode: QuantumMode::FastSampling,
                 availability: *a,
                 visibility: 1.0,
             },
             crate::point_seed(6, 3, ai as u64),
-        );
-        t.row(vec![format!("quantum, availability {a:.1}"), f2(q)]);
+        ));
+    }
+    let queues = runtime::par_map(&rows, |_, (_, strategy, seed)| run_point(*strategy, *seed));
+    let mut t = Table::new(vec!["configuration", "avg queue @ load 1.2"]);
+    for ((label, _, _), q) in rows.iter().zip(&queues) {
+        t.row(vec![label.clone(), f2(*q)]);
     }
     out.push_str(&format!(
         "E6b — end-to-end load balancing under degraded hardware (N = {n})\n\n{}\n",
@@ -96,8 +111,8 @@ pub fn run(quick: bool) -> String {
     // (c) Storage-time ablation: hold both halves for t, play CHSH.
     let rounds_c = if quick { 5_000 } else { 50_000 };
     let tau = 100e-6; // 100 µs QNIC memory lifetime (§3)
-    let mut t = Table::new(vec!["hold time / τ", "CHSH win prob", "advantage?"]);
-    for ratio in [0.0, 0.1, 0.25, 0.5, 1.0, 2.0] {
+    let ratios = [0.0, 0.1, 0.25, 0.5, 1.0, 2.0];
+    let rates_c = runtime::par_sweep(crate::point_seed(6, 4, 0), &ratios, |_, &ratio, rng| {
         let held = ratio * tau;
         let ch = KrausChannel::storage_decay(held, tau).expect("valid params");
         // Build the decohered pair once; clone per round.
@@ -108,7 +123,10 @@ pub fn run(quick: bool) -> String {
             move || SharedPair::from_density(rho.clone()).expect("two qubits"),
             ChshVariant::Standard,
         );
-        let rate = empirical_win_rate(&ChshGame::standard(), &mut s, rounds_c, &mut rng);
+        empirical_win_rate(&ChshGame::standard(), &mut s, rounds_c, rng)
+    });
+    let mut t = Table::new(vec!["hold time / τ", "CHSH win prob", "advantage?"]);
+    for (&ratio, &rate) in ratios.iter().zip(&rates_c) {
         t.row(vec![
             format!("{ratio:.2}"),
             f4(rate),

@@ -40,38 +40,32 @@ pub fn run(quick: bool) -> String {
         "avg queue",
     ]);
 
-    // Baselines.
-    let mut rng = StdRng::seed_from_u64(crate::point_seed(8, 0, 0));
-    let classical = run_simulation(
-        config,
-        Strategy::UniformRandom,
-        &mut BernoulliWorkload::paper(),
-        &mut rng,
-    );
+    // Baselines — each arm on its own seed so both run concurrently.
+    let baselines = runtime::par_map(&[0usize, 1], |_, &arm| {
+        let mut rng = StdRng::seed_from_u64(crate::point_seed(8, 0, arm as u64));
+        let strategy = if arm == 0 { Strategy::UniformRandom } else { Strategy::quantum_ideal() };
+        let r = run_simulation(config, strategy, &mut BernoulliWorkload::paper(), &mut rng);
+        (r.avg_queue_len, r.cc_colocation_rate)
+    });
     t.row(vec![
         "— classical random".to_string(),
         "-".into(),
         "-".into(),
-        f2(classical.avg_queue_len),
+        f2(baselines[0].0),
     ]);
-    let ideal = run_simulation(
-        config,
-        Strategy::quantum_ideal(),
-        &mut BernoulliWorkload::paper(),
-        &mut rng,
-    );
     t.row(vec![
         "— ideal quantum".to_string(),
         "100.0%".into(),
-        f4(ideal.cc_colocation_rate),
-        f2(ideal.avg_queue_len),
+        f4(baselines[1].1),
+        f2(baselines[1].0),
     ]);
 
     // The demand is 1 pair per 100 µs per balancer pair = 10⁴ pairs/s.
-    for (i, rate) in [1e3, 3e3, 1e4, 3e4, 1e5, 1e6].iter().enumerate() {
+    let rates = [1e3, 3e3, 1e4, 3e4, 1e5, 1e6];
+    let rate_rows = runtime::par_map(&rates, |i, &rate| {
         let mut rng = StdRng::seed_from_u64(crate::point_seed(8, 1, i as u64));
         let pipeline = DistributorConfig {
-            source: EprSource::new(*rate, 0.98),
+            source: EprSource::new(rate, 0.98),
             link_a: FiberLink::new(0.5),
             link_b: FiberLink::new(0.5),
             qnic_capacity: 16,
@@ -92,11 +86,18 @@ pub fn run(quick: bool) -> String {
             &mut BernoulliWorkload::paper(),
             &mut rng,
         );
+        (
+            strat.stats().quantum_fraction(),
+            r.cc_colocation_rate,
+            r.avg_queue_len,
+        )
+    });
+    for (&rate, &(qf, cc, q)) in rates.iter().zip(&rate_rows) {
         t.row(vec![
             format!("{rate:.0}"),
-            format!("{:.1}%", 100.0 * strat.stats().quantum_fraction()),
-            f4(r.cc_colocation_rate),
-            f2(r.avg_queue_len),
+            format!("{:.1}%", 100.0 * qf),
+            f4(cc),
+            f2(q),
         ]);
     }
 

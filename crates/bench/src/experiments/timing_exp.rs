@@ -43,14 +43,18 @@ pub fn run(quick: bool) -> String {
         },
     ];
 
+    // Each latency model runs concurrently on its own seed stream.
+    let results = runtime::par_sweep(crate::point_seed(5, 1, 0), &models, |_, &m, rng| {
+        run_timing_experiment(m, inputs, Duration::from_micros(20), rng)
+    });
+
     let mut t = Table::new(vec![
         "model",
         "mean latency",
         "p99 latency",
         "coordinated",
     ]);
-    for m in models {
-        let r = run_timing_experiment(m, inputs, Duration::from_micros(20), &mut rng);
+    for (&m, r) in models.iter().zip(&results) {
         let label = match m {
             DecisionLatencyModel::ClassicalCoordinate { rtt } if rtt == rtt_cross => {
                 "classical-rtt (cross-AZ)".to_string()

@@ -6,10 +6,12 @@
 //! Monte-Carlo budgets for CI; the `repro` binary defaults to full
 //! budgets.
 //!
-//! Heavy sweeps parallelize across points with `std::thread::scope`
-//! (CPU-bound work; per the Tokio guide, an async runtime is the wrong
-//! tool). Every point is seeded deterministically from its coordinates so
-//! runs are reproducible regardless of thread interleaving.
+//! Heavy sweeps run on the shared `runtime` work-stealing pool
+//! (`runtime::par_map` / `runtime::par_sweep`; CPU-bound work, so an
+//! async runtime is the wrong tool). Every point is seeded
+//! deterministically from its coordinates so results are bit-identical
+//! regardless of worker count or steal order. `QNLG_THREADS` overrides
+//! the pool size.
 
 pub mod experiments;
 pub mod table;
@@ -17,18 +19,10 @@ pub mod table;
 pub use table::Table;
 
 /// Deterministic per-point seed derived from experiment coordinates
-/// (SplitMix64 of the packed indices).
+/// (SplitMix64 of the packed indices). Delegates to
+/// [`runtime::point_seed`], which freezes the historical formula.
 pub fn point_seed(experiment: u64, i: u64, j: u64) -> u64 {
-    let mut z = experiment
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        .wrapping_add(i)
-        .wrapping_mul(0xbf58_476d_1ce4_e5b9)
-        .wrapping_add(j);
-    z ^= z >> 30;
-    z = z.wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z ^= z >> 27;
-    z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+    runtime::point_seed(experiment, i, j)
 }
 
 #[cfg(test)]

@@ -212,7 +212,7 @@ mod tests {
         let coord = ParityCoordinator::new(3, 2);
         let eps = coord.endpoints();
         let inputs = mermin_inputs(3);
-        let mut ones = vec![0usize; 3];
+        let mut ones = [0usize; 3];
         let rounds = 6000;
         for round in 0..rounds {
             let x = &inputs[round % inputs.len()];

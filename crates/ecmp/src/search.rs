@@ -62,6 +62,10 @@ pub struct SearchResult {
 /// measurement angles for the minimal (3, 2, 2) scenario, returning the
 /// best quantum collision probability found. Monte-Carlo evaluated with
 /// `rounds` rounds per candidate.
+///
+/// Candidates are evaluated on the shared worker pool; each gets its own
+/// seed stream derived from a master seed drawn once from `rng`, so the
+/// result depends only on the caller's RNG state, not the worker count.
 pub fn exhaustive_quantum_search<R: Rng>(
     candidates: usize,
     rounds: usize,
@@ -69,27 +73,11 @@ pub fn exhaustive_quantum_search<R: Rng>(
 ) -> SearchResult {
     let scenario = EcmpScenario::minimal();
     let classical = classical_optimum_two_active(3);
-    let mut best = f64::INFINITY;
-    let mut best_candidate: Option<(Vec<f64>, EntangledStateKind)> = None;
-    let mut evaluated = 0usize;
-
-    let eval = |angles: Vec<f64>, kind: EntangledStateKind, n: usize, rng: &mut R| -> f64 {
-        let mut s = GlobalEntangled::new(kind, angles);
-        run_rounds(scenario, &mut s, n, rng).collision_probability
-    };
-
-    let mut consider =
-        |angles: Vec<f64>, kind: EntangledStateKind, rng: &mut R, best: &mut f64| {
-            let p = eval(angles.clone(), kind, rounds, rng);
-            if p < *best {
-                *best = p;
-                best_candidate = Some((angles, kind));
-            }
-        };
 
     // Structured grid: evenly spread angle triples (the intuitive
-    // "3-coloring" attempts).
+    // "3-coloring" attempts), then random candidates.
     let tau = std::f64::consts::TAU;
+    let mut pool: Vec<(Vec<f64>, EntangledStateKind)> = Vec::new();
     for i in 0..4 {
         for j in 0..4 {
             for k in 0..4 {
@@ -99,13 +87,11 @@ pub fn exhaustive_quantum_search<R: Rng>(
                     k as f64 * tau / 8.0,
                 ];
                 for kind in [EntangledStateKind::Ghz, EntangledStateKind::W] {
-                    consider(angles.clone(), kind, rng, &mut best);
-                    evaluated += 1;
+                    pool.push((angles.clone(), kind));
                 }
             }
         }
     }
-    // Random candidates.
     for _ in 0..candidates {
         let angles: Vec<f64> = (0..3).map(|_| rng.gen::<f64>() * tau).collect();
         let kind = if rng.gen() {
@@ -113,21 +99,33 @@ pub fn exhaustive_quantum_search<R: Rng>(
         } else {
             EntangledStateKind::W
         };
-        consider(angles, kind, rng, &mut best);
-        evaluated += 1;
+        pool.push((angles, kind));
     }
+
+    let master = rng.next_u64();
+    let probs = runtime::par_sweep(master, &pool, |_, (angles, kind), rng| {
+        let mut s = GlobalEntangled::new(*kind, angles.clone());
+        run_rounds(scenario, &mut s, rounds, rng).collision_probability
+    });
+    let winner = probs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))
+        .map(|(i, _)| i)
+        .expect("non-empty candidate pool");
 
     // The running minimum over noisy estimates is biased low (selection
     // on noise). Re-evaluate the winning candidate with 20× the rounds
     // for an honest estimate of the best quantum strategy found.
-    if let Some((angles, kind)) = best_candidate {
-        best = eval(angles, kind, rounds * 20, rng);
-    }
+    let (angles, kind) = &pool[winner];
+    let mut s = GlobalEntangled::new(*kind, angles.clone());
+    let mut rng = runtime::stream_rng(master, pool.len() as u64);
+    let best = run_rounds(scenario, &mut s, rounds * 20, &mut rng).collision_probability;
 
     SearchResult {
         best_quantum: best,
         classical,
-        evaluated,
+        evaluated: pool.len(),
     }
 }
 
@@ -144,32 +142,38 @@ pub fn search_two_of_n<R: Rng>(
     let scenario = EcmpScenario::new(n_switches, 2, 2);
     let classical = classical_optimum_two_active(n_switches);
     let tau = std::f64::consts::TAU;
-    let mut best = f64::INFINITY;
-    let mut best_candidate: Option<(Vec<f64>, EntangledStateKind)> = None;
-    let mut evaluated = 0usize;
-    for _ in 0..candidates {
-        let angles: Vec<f64> = (0..n_switches).map(|_| rng.gen::<f64>() * tau).collect();
-        let kind = if rng.gen() {
-            EntangledStateKind::Ghz
-        } else {
-            EntangledStateKind::W
-        };
-        let mut s = GlobalEntangled::new(kind, angles.clone());
-        let p = run_rounds(scenario, &mut s, rounds, rng).collision_probability;
-        evaluated += 1;
-        if p < best {
-            best = p;
-            best_candidate = Some((angles, kind));
-        }
-    }
-    if let Some((angles, kind)) = best_candidate {
-        let mut s = GlobalEntangled::new(kind, angles);
-        best = run_rounds(scenario, &mut s, rounds * 20, rng).collision_probability;
-    }
+    let pool: Vec<(Vec<f64>, EntangledStateKind)> = (0..candidates)
+        .map(|_| {
+            let angles: Vec<f64> = (0..n_switches).map(|_| rng.gen::<f64>() * tau).collect();
+            let kind = if rng.gen() {
+                EntangledStateKind::Ghz
+            } else {
+                EntangledStateKind::W
+            };
+            (angles, kind)
+        })
+        .collect();
+
+    let master = rng.next_u64();
+    let probs = runtime::par_sweep(master, &pool, |_, (angles, kind), rng| {
+        let mut s = GlobalEntangled::new(*kind, angles.clone());
+        run_rounds(scenario, &mut s, rounds, rng).collision_probability
+    });
+    let winner = probs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))
+        .map(|(i, _)| i)
+        .expect("non-empty candidate pool");
+    let (angles, kind) = &pool[winner];
+    let mut s = GlobalEntangled::new(*kind, angles.clone());
+    let mut rng = runtime::stream_rng(master, pool.len() as u64);
+    let best = run_rounds(scenario, &mut s, rounds * 20, &mut rng).collision_probability;
+
     SearchResult {
         best_quantum: best,
         classical,
-        evaluated,
+        evaluated: pool.len(),
     }
 }
 

@@ -196,9 +196,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let classical_opt = 1.0 / 3.0;
         let grid = [
-            [0.0, 2.094, 4.189],     // 120°-spread
-            [0.0, 1.571, 3.142],     // 90°-spread
-            [0.524, 1.571, 2.618],   // asymmetric
+            [0.0, 2.094, 4.189], // 120°-spread
+            [0.0, std::f64::consts::FRAC_PI_2, std::f64::consts::PI], // 90°-spread
+            [0.524, 1.571, 2.618], // asymmetric
         ];
         for angles in grid {
             let mut s = GlobalEntangled::new(EntangledStateKind::Ghz, angles.to_vec());

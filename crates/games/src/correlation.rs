@@ -20,10 +20,28 @@ use qmath::RMatrix;
 use rand::Rng;
 
 /// A two-party correlation box with uniform marginals.
+///
+/// Construction precomputes, per input pair `(x, y)`, the joint
+/// probability table and its CDF over the four outcomes
+/// `(a, b) ∈ {00, 01, 10, 11}` — the sweep inner loops (Fig 4, E8) call
+/// [`CorrelationBox::sample`] millions of times, and the cached CDF turns
+/// each call into a single uniform draw plus three comparisons instead of
+/// two draws and a rebuilt distribution.
 #[derive(Debug, Clone)]
 pub struct CorrelationBox {
     c: RMatrix,
+    /// Row-major per-(x,y) joint probabilities `[p00, p01, p10, p11]`.
+    joint: Vec<[f64; 4]>,
+    /// Row-major per-(x,y) CDF prefix `[p00, p00+p01, p00+p01+p10]` (the
+    /// final 1.0 is implicit), scaled by 2⁵³ and rounded up. A uniform
+    /// f64 in [0,1) is exactly `(next_u64() >> 11) · 2⁻⁵³`, so comparing
+    /// the raw 53-bit draw against `ceil(p · 2⁵³)` realizes the identical
+    /// distribution while keeping the hot path in integer registers.
+    cdf: Vec<[u64; 3]>,
 }
+
+/// 2⁵³ as f64 — the probability-to-threshold scale.
+const CDF_ONE: f64 = (1u64 << 53) as f64;
 
 impl CorrelationBox {
     /// Builds a box from a correlation matrix.
@@ -32,14 +50,58 @@ impl CorrelationBox {
     /// Panics if any entry falls outside `[−1, 1]` (allowing `1e-9` slack
     /// for solver round-off, which is clamped).
     pub fn new(mut c: RMatrix) -> Self {
-        for x in 0..c.rows() {
-            for y in 0..c.cols() {
+        let (rows, cols) = (c.rows(), c.cols());
+        let mut joint = Vec::with_capacity(rows * cols);
+        let mut cdf = Vec::with_capacity(rows * cols);
+        for x in 0..rows {
+            for y in 0..cols {
                 let v = c[(x, y)];
                 assert!(v.abs() <= 1.0 + 1e-9, "correlation {v} out of range");
-                c[(x, y)] = v.clamp(-1.0, 1.0);
+                let v = v.clamp(-1.0, 1.0);
+                c[(x, y)] = v;
+                let agree = (1.0 + v) / 4.0;
+                let differ = (1.0 - v) / 4.0;
+                // Outcome order (a, b): 00, 01, 10, 11.
+                joint.push([agree, differ, differ, agree]);
+                let scale = |p: f64| (p * CDF_ONE).ceil() as u64;
+                cdf.push([
+                    scale(agree),
+                    scale(agree + differ),
+                    scale(agree + 2.0 * differ),
+                ]);
             }
         }
-        CorrelationBox { c }
+        let boxx = CorrelationBox { c, joint, cdf };
+        boxx.debug_assert_tables_normalized();
+        boxx
+    }
+
+    /// Debug-only invariant: every cached joint distribution sums to 1
+    /// within 1e-12 and its scaled CDF is monotone in `[0, 2⁵³]` (the
+    /// integer image of `[0, 1]`, with 1e-12 of slack scaled alike).
+    #[inline]
+    fn debug_assert_tables_normalized(&self) {
+        if cfg!(debug_assertions) {
+            for (k, (p, t)) in self.joint.iter().zip(&self.cdf).enumerate() {
+                let total: f64 = p.iter().sum();
+                debug_assert!(
+                    (total - 1.0).abs() <= 1e-12,
+                    "joint table {k} sums to {total}"
+                );
+                debug_assert!(
+                    t[0] <= t[1]
+                        && t[1] <= t[2]
+                        && (t[2] as f64) <= (1.0 + 1e-12) * CDF_ONE,
+                    "CDF table {k} not monotone: {t:?}"
+                );
+            }
+        }
+    }
+
+    #[inline]
+    fn table_index(&self, x: usize, y: usize) -> usize {
+        debug_assert!(x < self.c.rows() && y < self.c.cols());
+        x * self.c.cols() + y
     }
 
     /// The optimal CHSH correlation box: `C[x][y] = (−1)^{x∧y}/√2`.
@@ -71,19 +133,24 @@ impl CorrelationBox {
 
     /// Samples one round: returns `(a, b)` from `p(a,b|x,y)` with uniform
     /// marginals.
+    ///
+    /// Hot path: one uniform draw inverted through the precomputed CDF
+    /// (three branchless integer comparisons — no float conversion).
+    /// Uniform marginals hold exactly because `p00 = p11` and `p01 = p10`
+    /// by construction.
+    #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, x: usize, y: usize, rng: &mut R) -> (bool, bool) {
-        let c = self.c[(x, y)];
-        // a is uniform; b agrees with a w.p. (1 + c)/2.
-        let a: bool = rng.gen();
-        let agree = rng.gen::<f64>() < (1.0 + c) / 2.0;
-        let b = if agree { a } else { !a };
-        (a, b)
+        let t = &self.cdf[self.table_index(x, y)];
+        // The top 53 bits are the same draw `gen::<f64>()` would make.
+        let h = rng.next_u64() >> 11;
+        let k = usize::from(h >= t[0]) + usize::from(h >= t[1]) + usize::from(h >= t[2]);
+        (k & 0b10 != 0, k & 0b01 != 0)
     }
 
-    /// Probability of `(a, b)` given `(x, y)`.
+    /// Probability of `(a, b)` given `(x, y)` (cached table lookup).
+    #[inline]
     pub fn probability(&self, x: usize, y: usize, a: bool, b: bool) -> f64 {
-        let sign = if a == b { 1.0 } else { -1.0 };
-        (1.0 + sign * self.c[(x, y)]) / 4.0
+        self.joint[self.table_index(x, y)][(usize::from(a) << 1) | usize::from(b)]
     }
 
     /// The CHSH operator value
@@ -161,6 +228,55 @@ mod tests {
                 let f = agree as f64 / trials as f64;
                 let expect = (1.0 + boxx.correlation(x, y)) / 2.0;
                 assert!((f - expect).abs() < 0.01, "({x},{y}): {f} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_tables_match_closed_form() {
+        // The precomputed joint/CDF tables must agree exactly with the
+        // (1 ± c)/4 closed form they replaced.
+        let boxx = CorrelationBox::new(RMatrix::from_fn(3, 2, |x, y| {
+            (0.9 - 0.35 * x as f64) * if y == 0 { 1.0 } else { -1.0 }
+        }));
+        for x in 0..3 {
+            for y in 0..2 {
+                let c = boxx.correlation(x, y);
+                for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+                    let sign = if a == b { 1.0 } else { -1.0 };
+                    let closed = (1.0 + sign * c) / 4.0;
+                    assert!(
+                        (boxx.probability(x, y, a, b) - closed).abs() < 1e-15,
+                        "({x},{y},{a},{b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sample_joint_frequencies_match_tables() {
+        // The single-draw CDF inversion must realize the cached joint
+        // distribution, not merely the agreement rate.
+        let mut rng = StdRng::seed_from_u64(6);
+        let boxx = CorrelationBox::chsh_optimal();
+        let trials = 80_000;
+        for x in 0..2 {
+            for y in 0..2 {
+                let mut counts = [0usize; 4];
+                for _ in 0..trials {
+                    let (a, b) = boxx.sample(x, y, &mut rng);
+                    counts[(usize::from(a) << 1) | usize::from(b)] += 1;
+                }
+                for (k, &n) in counts.iter().enumerate() {
+                    let (a, b) = (k & 0b10 != 0, k & 0b01 != 0);
+                    let expect = boxx.probability(x, y, a, b);
+                    let freq = n as f64 / trials as f64;
+                    assert!(
+                        (freq - expect).abs() < 0.01,
+                        "({x},{y}) outcome {k}: {freq} vs {expect}"
+                    );
+                }
             }
         }
     }

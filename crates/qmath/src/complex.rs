@@ -273,7 +273,7 @@ mod tests {
     #[test]
     fn cis_is_unit_modulus() {
         for k in 0..16 {
-            let theta = k as f64 * 0.39269908;
+            let theta = k as f64 * std::f64::consts::FRAC_PI_8;
             assert!((C64::cis(theta).abs() - 1.0).abs() < TOL);
         }
     }

@@ -249,9 +249,11 @@ mod tests {
         let mut pair = d
             .take_pair(SimTime::from_micros(50), &mut rng)
             .expect("fast source must have a pair by 50µs");
-        // Fresh, losslessly-delivered, v=1 pairs retain full correlation.
-        let a = pair.measure_angle(Party::A, 0.9, &mut rng).unwrap();
-        let b = pair.measure_angle(Party::B, 0.9, &mut rng).unwrap();
+        // OldestFirst consumption means the pair has accumulated storage
+        // dephasing, so only Z-basis agreement is deterministic (the
+        // populations are untouched; coherences are not).
+        let a = pair.measure_angle(Party::A, 0.0, &mut rng).unwrap();
+        let b = pair.measure_angle(Party::B, 0.0, &mut rng).unwrap();
         assert_eq!(a, b);
         assert_eq!(d.stats().consumed, 1);
     }

@@ -230,7 +230,7 @@ mod tests {
 
     proptest! {
         #[test]
-        fn prop_rotation_composition(a in 0.0f64..6.28, b in 0.0f64..6.28) {
+        fn prop_rotation_composition(a in 0.0f64..std::f64::consts::TAU, b in 0.0f64..std::f64::consts::TAU) {
             // plane_rotation(a) · plane_rotation(b) = plane_rotation(a+b)
             let lhs = compose(&plane_rotation(a), &plane_rotation(b));
             let rhs = plane_rotation(a + b);
@@ -242,7 +242,7 @@ mod tests {
         }
 
         #[test]
-        fn prop_rz_phases_commute(a in 0.0f64..6.28, b in 0.0f64..6.28) {
+        fn prop_rz_phases_commute(a in 0.0f64..std::f64::consts::TAU, b in 0.0f64..std::f64::consts::TAU) {
             let lhs = compose(&rz(a), &rz(b));
             let rhs = compose(&rz(b), &rz(a));
             for r in 0..2 {

@@ -1,0 +1,168 @@
+//! The sweep executor: a fixed-size scoped worker pool over a chunked
+//! work-stealing queue.
+//!
+//! Replaces the bench harness's historical spawn-one-OS-thread-per-point
+//! pattern (60+ threads for a Figure-4 sweep). Work is split into
+//! contiguous index chunks distributed round-robin across per-worker
+//! deques; a worker drains its own deque from the front and steals from
+//! the back of its neighbors' when empty. Results carry their item index,
+//! so output order — and therefore every downstream table — is
+//! independent of scheduling.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel call will use: the `QNLG_THREADS`
+/// environment variable if set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`].
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("QNLG_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Chunks per worker to create: more gives the stealer finer granularity
+/// when point costs are skewed; fewer keeps queue traffic low.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Parallel indexed map over a slice with an explicit worker count.
+///
+/// `f` receives `(index, &item)` and results are returned in item order.
+/// `threads == 1` runs inline with no thread machinery at all, which is
+/// also the reference path for determinism tests.
+pub fn par_map_threads<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let len = items.len();
+    if threads <= 1 || len <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = threads.min(len);
+    let chunk = len.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+
+    // Per-worker deques of (start, end) index ranges, filled round-robin.
+    let queues: Vec<Mutex<VecDeque<(usize, usize)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (k, start) in (0..len).step_by(chunk).enumerate() {
+        let end = (start + chunk).min(len);
+        queues[k % workers]
+            .lock()
+            .expect("queue lock")
+            .push_back((start, end));
+    }
+
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(len));
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queues = &queues;
+            let collected = &collected;
+            let f = &f;
+            scope.spawn(move || {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    // Own queue first (front: preserves cache-friendly
+                    // contiguity), then steal from the back of others'.
+                    let next = queues[w].lock().expect("queue lock").pop_front().or_else(|| {
+                        (1..workers).find_map(|d| {
+                            queues[(w + d) % workers]
+                                .lock()
+                                .expect("queue lock")
+                                .pop_back()
+                        })
+                    });
+                    let Some((start, end)) = next else { break };
+                    for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                        local.push((i, f(i, item)));
+                    }
+                }
+                collected.lock().expect("result lock").extend(local);
+            });
+        }
+    });
+
+    let pairs = collected.into_inner().expect("result lock");
+    debug_assert_eq!(pairs.len(), len);
+    let mut out: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    for (i, r) in pairs {
+        debug_assert!(out[i].is_none(), "index {i} produced twice");
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("every index produced exactly once"))
+        .collect()
+}
+
+/// Parallel indexed map using the configured worker count
+/// ([`thread_count`]).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_threads(thread_count(), items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map_threads(4, &items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..257).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let items: Vec<u64> = (0..100).collect();
+        let f = |_: usize, &x: &u64| x.wrapping_mul(0x9e37_79b9).rotate_left(7);
+        let one = par_map_threads(1, &items, f);
+        let two = par_map_threads(2, &items, f);
+        let many = par_map_threads(16, &items, f);
+        assert_eq!(one, two);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map_threads(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map_threads(8, &[5u32], |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let out = par_map_threads(32, &[1, 2, 3], |_, &x| x * x);
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn skewed_work_is_stolen() {
+        // One pathologically slow item at index 0; the rest must still
+        // complete promptly and in order. (Correctness check — timing is
+        // exercised by benches/sweep.rs.)
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_map_threads(4, &items, |_, &x| {
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x + 1
+        });
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+    }
+}
