@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test clippy bench-sweep
+.PHONY: ci build test clippy bench-sweep repro-quick
 
-ci: build test clippy
+ci: build test clippy repro-quick
 
 build:
 	$(CARGO) build --release
@@ -16,6 +16,13 @@ test:
 clippy:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
 
-# Spawn-per-point vs pooled executor + CorrelationBox sampling kernels.
+# Spawn-per-point vs pooled executor + CorrelationBox sampling kernels
+# + obs on/off overhead.
 bench-sweep:
 	$(CARGO) bench -p qnlg-bench --bench sweep
+
+# CI-budget reproduction of every experiment, with schema-validated
+# JSON-lines artifacts in artifacts/. Fails if any acceptance check fails.
+repro-quick:
+	$(CARGO) run --release -p qnlg-bench --bin repro -- all --quick --json --out artifacts/
+	$(CARGO) run --release -p qnlg-bench --bin repro -- check-artifacts artifacts/

@@ -12,6 +12,10 @@
 //!    twice per call, with a branch. Timed in batches of 1024 calls so
 //!    harness overhead doesn't mask the ~ns-scale kernels. The cached
 //!    kernel must win by ≥ 2×.
+//! 3. `obs_overhead` — the same pooled fig4-quick grid with metric
+//!    collection off (the default) vs on. The obs ablation contract
+//!    (DESIGN.md §5) is < 2% overhead: recording is a handful of relaxed
+//!    atomic ops per simulated round against ~µs of simulation work.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use games::correlation::CorrelationBox;
@@ -139,5 +143,42 @@ fn bench_correlation_sample(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sweep_executor, bench_correlation_sample);
+fn bench_obs_overhead(c: &mut Criterion) {
+    let strategies = strategies();
+    let loads: Vec<f64> = (6..=15).map(|i| i as f64 / 10.0).collect();
+    let grid = runtime::grid2(strategies.len(), loads.len());
+    let sweep = |grid: &[(usize, usize)]| {
+        runtime::par_map(grid, |_, &(si, li)| {
+            cell(
+                strategies[si],
+                loads[li],
+                runtime::point_seed(40, si as u64, li as u64),
+            )
+        })
+    };
+
+    let mut group = c.benchmark_group("obs_overhead_fig4_quick");
+    group.sample_size(5);
+
+    group.bench_function(BenchmarkId::new("obs_off", grid.len()), |b| {
+        obs::set_enabled(false);
+        b.iter(|| black_box(sweep(&grid)))
+    });
+
+    group.bench_function(BenchmarkId::new("obs_on", grid.len()), |b| {
+        obs::reset();
+        obs::set_enabled(true);
+        b.iter(|| black_box(sweep(&grid)));
+        obs::set_enabled(false);
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sweep_executor,
+    bench_correlation_sample,
+    bench_obs_overhead
+);
 criterion_main!(benches);

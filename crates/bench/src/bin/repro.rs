@@ -1,10 +1,20 @@
 //! `repro` — regenerate every figure and quantitative claim of the paper.
 //!
 //! ```text
-//! repro <experiment> [--quick]
-//! repro all [--quick]
+//! repro <experiment> [--quick] [--json] [--out <dir>]
+//! repro all [--quick] [--json] [--out <dir>]
+//! repro check-artifacts <dir>
 //! repro list
 //! ```
+//!
+//! `--json` prints each experiment as one `qnlg.bench.v1` JSON line on
+//! stdout instead of the text tables; `--out <dir>` additionally writes
+//! one `BENCH_<experiment>.json` artifact per experiment (text output
+//! stays on stdout unless `--json` is also given). `check-artifacts`
+//! re-validates previously written artifacts against the schema.
+//!
+//! The process exits non-zero when any experiment's acceptance checks
+//! fail, so CI can gate on `repro all --quick`.
 //!
 //! Experiments (see DESIGN.md §4 for the full index):
 //!
@@ -20,47 +30,198 @@
 //! | timing           | Figure 2: decision latency (E5)                  |
 //! | noise            | §3 error margins: visibility/storage (E6)        |
 //! | hybrid           | §4.1 caveat: dedicated-server baseline (E7)      |
+//! | pipeline         | E8: hardware-in-the-loop Figure 4                |
 
-use qnlg_bench::experiments;
+use qnlg_bench::report::{validate_artifact_line, RunContext};
+use qnlg_bench::{experiments, Report};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+struct Options {
+    quick: bool,
+    json: bool,
+    out: Option<PathBuf>,
+}
+
+/// Runs one experiment with the metrics registry scoped to it, so the
+/// artifact's `obs` section covers exactly this run.
+fn run_instrumented(name: &str, quick: bool) -> Option<(Report, obs::Snapshot)> {
+    obs::reset();
+    obs::set_enabled(true);
+    let report = experiments::run(name, quick);
+    let snap = obs::snapshot();
+    obs::set_enabled(false);
+    report.map(|r| (r, snap))
+}
+
+/// Emits one finished report: text and/or JSON to stdout, plus the
+/// `BENCH_<name>.json` artifact when `--out` is set. Returns false on an
+/// artifact I/O failure.
+fn emit(report: &Report, snap: obs::Snapshot, opts: &Options) -> bool {
+    let ctx = RunContext::current(opts.quick, Some(snap));
+    let line = report.to_json(&ctx).render();
+    if opts.json {
+        println!("{line}");
+    } else {
+        println!("{report}");
+    }
+    if let Some(dir) = &opts.out {
+        let path = dir.join(format!("BENCH_{}.json", report.name));
+        if let Err(e) = std::fs::write(&path, format!("{line}\n")) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return false;
+        }
+    }
+    true
+}
+
+fn check_artifacts(dir: &Path) -> ExitCode {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("error: no BENCH_*.json artifacts in {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &paths {
+        let content = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("FAIL {}: {e}", path.display());
+                ok = false;
+                continue;
+            }
+        };
+        for (i, line) in content.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+            match validate_artifact_line(line) {
+                Ok(doc) => {
+                    let passed = doc.get("passed").and_then(|p| p.as_bool()) == Some(true);
+                    let exp = doc
+                        .get("experiment")
+                        .and_then(|e| e.as_str())
+                        .unwrap_or("?")
+                        .to_string();
+                    if passed {
+                        println!("OK   {} ({exp})", path.display());
+                    } else {
+                        eprintln!("FAIL {} ({exp}): acceptance checks failed", path.display());
+                        ok = false;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("FAIL {} line {}: {e}", path.display(), i + 1);
+                    ok = false;
+                }
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let names: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut opts = Options {
+        quick: false,
+        json: false,
+        out: None,
+    };
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--json" => opts.json = true,
+            "--out" => match it.next() {
+                Some(dir) => opts.out = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --out requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown flag '{other}'");
+                return ExitCode::FAILURE;
+            }
+            other => names.push(other.to_string()),
+        }
+    }
 
-    let Some(&first) = names.first() else {
-        eprintln!("usage: repro <experiment|all|list> [--quick]");
+    let Some(first) = names.first().cloned() else {
+        eprintln!("usage: repro <experiment|all|list|check-artifacts> [--quick] [--json] [--out <dir>]");
         eprintln!("experiments: {}", experiments::ALL.join(", "));
         return ExitCode::FAILURE;
     };
 
-    match first {
+    if let Some(dir) = &opts.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match first.as_str() {
         "list" => {
             for name in experiments::ALL {
                 println!("{name}");
             }
             ExitCode::SUCCESS
         }
+        "check-artifacts" => {
+            let Some(dir) = names.get(1) else {
+                eprintln!("usage: repro check-artifacts <dir>");
+                return ExitCode::FAILURE;
+            };
+            check_artifacts(Path::new(dir))
+        }
         "all" => {
+            let mut all_passed = true;
             for name in experiments::ALL {
-                println!("================================================================");
-                match experiments::run(name, quick) {
-                    Some(report) => println!("{report}"),
-                    None => unreachable!("ALL only lists known experiments"),
+                if !opts.json {
+                    println!("================================================================");
+                }
+                let (report, snap) =
+                    run_instrumented(name, opts.quick).expect("ALL only lists known experiments");
+                all_passed &= emit(&report, snap, &opts);
+                if !report.passed() {
+                    eprintln!("FAIL: experiment '{name}' acceptance checks failed");
+                    all_passed = false;
                 }
             }
-            ExitCode::SUCCESS
+            if all_passed {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         _ => {
             let mut ok = true;
-            for name in names {
-                match experiments::run(name, quick) {
-                    Some(report) => println!("{report}"),
+            for name in &names {
+                match run_instrumented(name, opts.quick) {
+                    Some((report, snap)) => {
+                        ok &= emit(&report, snap, &opts);
+                        if !report.passed() {
+                            eprintln!("FAIL: experiment '{name}' acceptance checks failed");
+                            ok = false;
+                        }
+                    }
                     None => {
                         eprintln!(
                             "unknown experiment '{name}'; valid: {}",

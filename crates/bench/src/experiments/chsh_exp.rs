@@ -5,17 +5,20 @@
 //! Also validates the XOR-game solvers against the known CHSH values and
 //! reports the 3-player GHZ game (quantum wins with certainty).
 
+use crate::report::Report;
 use crate::table::{f4, Table};
 use games::chsh::{ChshGame, ClassicalChshStrategy, QuantumChshStrategy};
 use games::game::{empirical_win_rate, IndependentRandomStrategy};
 use games::multiparty;
 use games::{ChshVariant, XorGame};
+use obs::json::Json;
+use qmath::stats::wilson;
 
 /// Runs the CHSH validation experiment.
 ///
 /// The six Monte-Carlo rows are independent, so they run concurrently on
 /// the shared pool, each on its own deterministic seed stream.
-pub fn run(quick: bool) -> String {
+pub fn run(quick: bool) -> Report {
     let rounds = if quick { 20_000 } else { 500_000 };
     let game = ChshGame::standard();
     let xor = XorGame::chsh();
@@ -46,7 +49,9 @@ pub fn run(quick: bool) -> String {
     let solver_pgd = (1.0 + xor.quantum_bias_pgd(if quick { 150 } else { 500 })) / 2.0;
 
     let ghz_classical = multiparty::classical_optimum();
+    let ghz_rounds = if quick { 2_000 } else { 20_000 };
 
+    let mut report = Report::new("chsh", 3);
     let mut t = Table::new(vec!["quantity", "measured", "theory"]);
     t.row(vec!["CHSH independent-random".into(), f4(independent), f4(0.5)]);
     t.row(vec![
@@ -90,19 +95,71 @@ pub fn run(quick: bool) -> String {
         f4(1.0),
     ]);
 
-    format!(
+    // Structured payload: every row as a (quantity, measured, theory)
+    // point; Wilson intervals for the Monte-Carlo win rates (counts are
+    // reconstructed exactly from rate × rounds).
+    let wilson_of = |rate: f64, n: u64| wilson((rate * n as f64).round() as u64, n);
+    let mc_rows: &[(&str, f64, f64, u64)] = &[
+        ("independent_random", independent, 0.5, rounds as u64),
+        ("classical_optimal", classical, games::CHSH_CLASSICAL_VALUE, rounds as u64),
+        ("quantum_paper_angles", quantum, games::chsh_quantum_value(), rounds as u64),
+        ("quantum_flipped", flipped, games::chsh_quantum_value(), rounds as u64),
+        ("ghz_quantum", ghz_quantum, 1.0, ghz_rounds as u64),
+    ];
+    for &(name, measured, theory, n) in mc_rows {
+        report.interval(name, wilson_of(measured, n));
+        report.point(Json::obj([
+            ("quantity", Json::str(name)),
+            ("measured", Json::num(measured)),
+            ("theory", Json::num(theory)),
+            ("rounds", Json::uint(n)),
+        ]));
+    }
+    for (name, measured, theory) in [
+        ("xor_solver_classical", solver_classical, 0.75),
+        ("xor_solver_quantum", solver_quantum, games::chsh_quantum_value()),
+        ("xor_solver_pgd", solver_pgd, games::chsh_quantum_value()),
+        ("ghz_classical", ghz_classical, 0.75),
+    ] {
+        report.point(Json::obj([
+            ("quantity", Json::str(name)),
+            ("measured", Json::num(measured)),
+            ("theory", Json::num(theory)),
+        ]));
+    }
+    report.scalar("chsh_quantum_measured", quantum);
+    report.scalar("chsh_classical_exact", solver_classical);
+
+    // Acceptance: the measured quantum win rate must sit at cos²(π/8)
+    // within Monte-Carlo noise, and strictly above the classical optimum.
+    let expect = games::chsh_quantum_value();
+    report.check(
+        "quantum-value",
+        (quantum - expect).abs() < 0.02,
+        format!("|{quantum:.4} − {expect:.4}| < 0.02"),
+    );
+    report.check(
+        "quantum-beats-classical",
+        quantum > games::CHSH_CLASSICAL_VALUE,
+        format!("{quantum:.4} > {:.2}", games::CHSH_CLASSICAL_VALUE),
+    );
+
+    report.text = format!(
         "E3 — CHSH & GHZ game values (§2 text claims), {rounds} rounds/row\n\n{}",
         t.render()
-    )
+    );
+    report
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn chsh_experiment_runs_and_matches() {
-        let out = super::run(true);
+        let report = super::run(true);
+        let out = format!("{report}");
         assert!(out.contains("CHSH quantum"));
         // The quantum row must show ≈ 0.85.
         assert!(out.contains("0.85"), "{out}");
+        assert!(report.passed(), "{out}");
     }
 }

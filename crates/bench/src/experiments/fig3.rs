@@ -7,8 +7,10 @@
 //! (`games::xor::quantum_solution`). E1b (the caption's claim that the
 //! advantage probability grows with vertex count) is `run_vertices`.
 
+use crate::report::Report;
 use crate::table::{f4, Table};
 use games::graph::advantage_count;
+use obs::json::Json;
 use qmath::stats::wilson;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,24 +20,58 @@ use rand::SeedableRng;
 const TOL: f64 = 1e-4;
 
 /// Figure 3: 5-vertex sweep over the edge-exclusivity probability.
-pub fn run(quick: bool) -> String {
+pub fn run(quick: bool) -> Report {
     let samples = if quick { 40 } else { 400 };
     let ps: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
     let results = parallel_sweep_counts(&ps, 5, samples);
 
+    let mut report = Report::new("fig3", 10);
     let mut t = Table::new(vec!["P(edge exclusive)", "P(quantum advantage)"]);
     for (p, count) in &results {
-        t.row(vec![f4(*p), wilson(*count as u64, samples as u64).display()]);
+        let ci = wilson(*count as u64, samples as u64);
+        t.row(vec![f4(*p), ci.display()]);
+        report.interval(format!("advantage.p{p:.1}"), ci);
+        report.point(Json::obj([
+            ("p_exclusive", Json::num(*p)),
+            ("advantage_count", Json::uint(*count as u64)),
+            ("samples", Json::uint(samples as u64)),
+            ("advantage_rate", Json::num(*count as f64 / samples as f64)),
+        ]));
     }
-    format!(
+
+    let at = |p: f64| {
+        results
+            .iter()
+            .find(|(q, _)| (q - p).abs() < 1e-9)
+            .map(|(_, c)| *c as f64 / samples as f64)
+            .unwrap_or(f64::NAN)
+    };
+    report.scalar("advantage_rate.p0.0", at(0.0));
+    report.scalar("advantage_rate.p0.5", at(0.5));
+
+    // Acceptance: all-affinity graphs are trivially classical; the
+    // mid-range must show the paper's "most graphs have an advantage".
+    report.check(
+        "trivial-at-zero",
+        at(0.0) == 0.0,
+        format!("P(adv | p=0) = {}", at(0.0)),
+    );
+    report.check(
+        "midrange-advantage",
+        at(0.5) > 0.5,
+        format!("P(adv | p=0.5) = {:.3} > 0.5", at(0.5)),
+    );
+
+    report.text = format!(
         "E1 — Figure 3: random XOR games on 5-vertex graphs ({samples} graphs/point)\n\n{}",
         t.render()
-    )
+    );
+    report
 }
 
 /// Figure 3 caption claim: advantage probability increases with the
 /// number of vertices (at p_exclusive = 0.5).
-pub fn run_vertices(quick: bool) -> String {
+pub fn run_vertices(quick: bool) -> Report {
     let samples = if quick { 30 } else { 250 };
     let ns = [3usize, 4, 5, 6, 7];
     let results = runtime::par_map(&ns, |i, &n| {
@@ -43,15 +79,49 @@ pub fn run_vertices(quick: bool) -> String {
         (n, advantage_count(n, 0.5, samples, TOL, &mut rng))
     });
 
+    let mut report = Report::new("fig3-vertices", 11);
     let mut t = Table::new(vec!["vertices", "P(quantum advantage)"]);
     for (n, count) in &results {
-        t.row(vec![n.to_string(), wilson(*count as u64, samples as u64).display()]);
+        let ci = wilson(*count as u64, samples as u64);
+        t.row(vec![n.to_string(), ci.display()]);
+        report.interval(format!("advantage.n{n}"), ci);
+        report.point(Json::obj([
+            ("vertices", Json::uint(*n as u64)),
+            ("advantage_count", Json::uint(*count as u64)),
+            ("samples", Json::uint(samples as u64)),
+            ("advantage_rate", Json::num(*count as f64 / samples as f64)),
+        ]));
     }
-    format!(
+
+    let rate = |n: usize| {
+        results
+            .iter()
+            .find(|(m, _)| *m == n)
+            .map(|(_, c)| *c as f64 / samples as f64)
+            .unwrap_or(f64::NAN)
+    };
+    report.scalar("advantage_rate.n3", rate(3));
+    report.scalar("advantage_rate.n7", rate(7));
+
+    // Paper calibration: P(adv) ≈ 0.54 at n=3 and ≈ 0.85 at n=7, so the
+    // growth across the range must be clear even at quick budgets.
+    report.check(
+        "grows-with-vertices",
+        rate(7) > rate(3),
+        format!("P(adv | n=7) = {:.3} > P(adv | n=3) = {:.3}", rate(7), rate(3)),
+    );
+    report.check(
+        "majority-at-seven",
+        rate(7) >= 0.5,
+        format!("P(adv | n=7) = {:.3} ≥ 0.5", rate(7)),
+    );
+
+    report.text = format!(
         "E1b — Figure 3 caption: advantage probability vs vertex count \
          (p_exclusive = 0.5, {samples} graphs/point)\n\n{}",
         t.render()
-    )
+    );
+    report
 }
 
 /// Parallel sweep over exclusivity probabilities, returning raw counts.
@@ -92,8 +162,11 @@ mod tests {
 
     #[test]
     fn reports_render() {
-        let out = run(true);
+        let report = run(true);
+        let out = format!("{report}");
         assert!(out.contains("Figure 3"));
         assert!(out.lines().count() > 10);
+        assert!(report.passed(), "{out}");
+        assert_eq!(report.points.len(), 11);
     }
 }

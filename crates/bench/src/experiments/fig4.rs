@@ -3,12 +3,15 @@
 //! claims: E2b (results depend on the ratio N/M, not N itself) and E2c
 //! (footnote 2: the advantage is robust to other server disciplines).
 
+use crate::report::{sim_result_to_json, Report};
 use crate::table::{f2, Table};
-use loadbalance::metrics::knee_load;
+use loadbalance::metrics::{knee_load, SimResult};
 use loadbalance::server::Discipline;
 use loadbalance::sim::{run_simulation, SimConfig};
 use loadbalance::strategy::Strategy;
 use loadbalance::task::BernoulliWorkload;
+use obs::json::Json;
+use qmath::stats::wilson;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -30,7 +33,7 @@ fn sim_point(
     discipline: Discipline,
     strategy: Strategy,
     seed: u64,
-) -> f64 {
+) -> SimResult {
     let n_servers = (n_balancers as f64 / load).round() as usize;
     let config = SimConfig {
         n_balancers,
@@ -41,18 +44,18 @@ fn sim_point(
     };
     let mut rng = StdRng::seed_from_u64(seed);
     let mut workload = BernoulliWorkload::paper();
-    run_simulation(config, strategy, &mut workload, &mut rng).avg_queue_len
+    run_simulation(config, strategy, &mut workload, &mut rng)
 }
 
 /// The Figure 4 sweep: N = 100 balancers, load 0.6–1.5.
-pub fn run(quick: bool) -> String {
+pub fn run(quick: bool) -> Report {
     run_with_threads(runtime::thread_count(), quick)
 }
 
 /// Worker-count seam for [`run`]: every point's seed is a function of its
-/// grid coordinates only, so the rendered table is byte-identical at any
-/// `threads` (the determinism tests sweep this).
-pub fn run_with_threads(threads: usize, quick: bool) -> String {
+/// grid coordinates only, so the report — text and JSON alike — is
+/// byte-identical at any `threads` (the determinism tests sweep this).
+pub fn run_with_threads(threads: usize, quick: bool) -> Report {
     let (n, steps) = if quick { (40, 600) } else { (100, 3_000) };
     let loads: Vec<f64> = (6..=15).map(|i| i as f64 / 10.0).collect();
     let strategies = strategies();
@@ -68,40 +71,95 @@ pub fn run_with_threads(threads: usize, quick: bool) -> String {
             crate::point_seed(40, si as u64, li as u64),
         )
     });
-    let mut cells = vec![vec![0.0f64; loads.len()]; strategies.len()];
-    for (&(si, li), q) in points.iter().zip(flat) {
-        cells[si][li] = q;
+    let mut cells: Vec<Vec<Option<SimResult>>> =
+        vec![vec![None; loads.len()]; strategies.len()];
+    for (&(si, li), r) in points.iter().zip(flat) {
+        cells[si][li] = Some(r);
     }
+    let cell = |si: usize, li: usize| -> &SimResult {
+        cells[si][li].as_ref().expect("every grid cell filled")
+    };
 
     let mut header: Vec<String> = vec!["strategy \\ N/M".into()];
     header.extend(loads.iter().map(|l| format!("{l:.1}")));
     let mut t = Table::new(header);
     for (si, (name, _)) in strategies.iter().enumerate() {
         let mut row = vec![name.to_string()];
-        row.extend(cells[si].iter().map(|&q| f2(q)));
+        row.extend((0..loads.len()).map(|li| f2(cell(si, li).avg_queue_len)));
         t.row(row);
     }
 
     // Knee summary: first load where the average queue exceeds 10 tasks
     // (clearly saturating; small thresholds trigger on pre-knee noise).
+    let mut report = Report::new("fig4", 40);
     let mut knees = String::new();
+    let mut knee_by_name: Vec<(&str, Option<f64>)> = Vec::new();
     for (si, (name, _)) in strategies.iter().enumerate() {
-        let pts: Vec<(f64, f64)> = loads.iter().copied().zip(cells[si].iter().copied()).collect();
-        let knee = knee_load(&pts, 10.0)
+        let pts: Vec<(f64, f64)> = loads
+            .iter()
+            .copied()
+            .zip((0..loads.len()).map(|li| cell(si, li).avg_queue_len))
+            .collect();
+        let knee = knee_load(&pts, 10.0);
+        knee_by_name.push((name, knee));
+        report.scalar(format!("knee.{name}"), knee.unwrap_or(f64::INFINITY));
+        let shown = knee
             .map(|k| format!("{k:.1}"))
             .unwrap_or_else(|| "> 1.5".into());
-        knees.push_str(&format!("  {name:<16} knee (queue > 10) at N/M = {knee}\n"));
+        knees.push_str(&format!("  {name:<16} knee (queue > 10) at N/M = {shown}\n"));
     }
 
-    format!(
+    // Per-point payloads: the full SimResult of every grid cell.
+    for (si, _) in strategies.iter().enumerate() {
+        for li in 0..loads.len() {
+            report.point(sim_result_to_json(cell(si, li)));
+        }
+    }
+
+    // CC co-location interval for the quantum strategy, pooled across the
+    // sweep (every pair-round is an independent CHSH trial).
+    let qi = strategies.len() - 1;
+    let (cc_ok, cc_all) = (0..loads.len()).fold((0u64, 0u64), |(a, b), li| {
+        let r = cell(qi, li);
+        (a + r.cc_colocated, b + r.cc_rounds)
+    });
+    if cc_all > 0 {
+        report.interval("cc_colocation.paired-quantum", wilson(cc_ok, cc_all));
+    }
+
+    // Acceptance: the classical knee must not be later than the quantum
+    // knee, and at load 1.2 quantum must have strictly shorter queues.
+    let knee_of = |name: &str| -> f64 {
+        knee_by_name
+            .iter()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, k)| *k)
+            .unwrap_or(f64::INFINITY)
+    };
+    let (ck, qk) = (knee_of("uniform-random"), knee_of("paired-quantum"));
+    report.check(
+        "knee-order",
+        ck <= qk,
+        format!("classical knee {ck} ≤ quantum knee {qk}"),
+    );
+    let li12 = loads.iter().position(|&l| (l - 1.2).abs() < 1e-9).expect("load 1.2 in grid");
+    let (cq, qq) = (cell(0, li12).avg_queue_len, cell(qi, li12).avg_queue_len);
+    report.check(
+        "quantum-shorter-at-1.2",
+        qq < cq,
+        format!("quantum {qq:.2} < classical {cq:.2} at load 1.2"),
+    );
+
+    report.text = format!(
         "E2 — Figure 4: avg queue length vs load N/M (N = {n}, {steps} steps)\n\n{}\n{knees}",
         t.render()
-    )
+    );
+    report
 }
 
 /// E2b: "the results depend primarily on the ratio N/M and remain largely
 /// consistent as N varies."
-pub fn run_scaling(quick: bool) -> String {
+pub fn run_scaling(quick: bool) -> Report {
     let steps = if quick { 600 } else { 3_000 };
     let ns: &[usize] = if quick { &[20, 60, 100] } else { &[20, 60, 100, 200] };
     let loads = [1.0, 1.2];
@@ -132,9 +190,15 @@ pub fn run_scaling(quick: bool) -> String {
             crate::point_seed(41, (si * 2 + li) as u64, ni as u64),
         )
     });
+    let mut report = Report::new("fig4-scaling", 41);
     let mut cells = vec![vec![vec![0.0f64; ns.len()]; loads.len()]; strategies.len()];
-    for (&(si, li, ni), q) in points.iter().zip(flat) {
-        cells[si][li][ni] = q;
+    for (&(si, li, ni), r) in points.iter().zip(&flat) {
+        cells[si][li][ni] = r.avg_queue_len;
+        let mut point = sim_result_to_json(r);
+        if let Json::Obj(pairs) = &mut point {
+            pairs.insert(0, ("n_balancers".into(), Json::uint(ns[ni] as u64)));
+        }
+        report.point(point);
     }
     for (si, (name, _)) in strategies.iter().enumerate() {
         for (li, load) in loads.iter().enumerate() {
@@ -143,10 +207,26 @@ pub fn run_scaling(quick: bool) -> String {
             t.row(row);
         }
     }
-    format!(
+
+    // Acceptance: at load 1.0 the quantum queue length must be flat in N —
+    // the ratio, not N, drives the result (EXPERIMENTS.md: 3.36–3.50
+    // across N at full budget; allow 2× spread for quick-budget noise).
+    let quantum_at_1 = &cells[1][0];
+    let (lo, hi) = quantum_at_1
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &q| (lo.min(q), hi.max(q)));
+    report.scalar("quantum_spread_at_load_1.0", hi / lo);
+    report.check(
+        "n-independence",
+        hi <= 2.0 * lo,
+        format!("quantum q̄ at load 1.0 spans [{lo:.2}, {hi:.2}] across N (≤ 2× spread)"),
+    );
+
+    report.text = format!(
         "E2b — queue length vs N at fixed N/M (ratio, not N, drives the result)\n\n{}",
         t.render()
-    )
+    );
+    report
 }
 
 /// E2c (footnote 2): is the quantum advantage robust to other server
@@ -158,7 +238,7 @@ pub fn run_scaling(quick: bool) -> String {
 /// remove priority (`fifo-paired-c`) and engineered co-arrival only
 /// concentrates load, slightly *hurting*. `single-slot` is the control
 /// with no type structure at all (no difference, as expected).
-pub fn run_disciplines(quick: bool) -> String {
+pub fn run_disciplines(quick: bool) -> Report {
     let (n, steps) = if quick { (40, 600) } else { (100, 3_000) };
     let load = 1.2;
     let disciplines = [
@@ -174,16 +254,39 @@ pub fn run_disciplines(quick: bool) -> String {
         let strategy = if arm == 0 { Strategy::UniformRandom } else { Strategy::quantum_ideal() };
         sim_point(n, load, steps, disciplines[di], strategy, crate::point_seed(42, di as u64, arm as u64))
     });
+    let mut report = Report::new("fig4-disciplines", 42);
+    let mut paper_reduction = f64::NAN;
     for (di, d) in disciplines.iter().enumerate() {
-        let (c, q) = (flat[di * 2], flat[di * 2 + 1]);
+        let (cr, qr) = (&flat[di * 2], &flat[di * 2 + 1]);
+        let (c, q) = (cr.avg_queue_len, qr.avg_queue_len);
         let red = if c > 0.0 { format!("{:.0}%", 100.0 * (1.0 - q / c)) } else { "-".into() };
+        if di == 0 {
+            paper_reduction = 1.0 - q / c;
+            report.scalar("paper_discipline_reduction", paper_reduction);
+        }
+        for r in [cr, qr] {
+            let mut point = sim_result_to_json(r);
+            if let Json::Obj(pairs) = &mut point {
+                pairs.insert(0, ("discipline".into(), Json::str(d.label())));
+            }
+            report.point(point);
+        }
         t.row(vec![d.label().to_string(), f2(c), f2(q), red]);
     }
-    format!(
+    report.check(
+        "paper-discipline-advantage",
+        paper_reduction > 0.0,
+        format!(
+            "paired-C discipline reduction {:.0}% > 0",
+            100.0 * paper_reduction
+        ),
+    );
+    report.text = format!(
         "E2c — footnote 2: advantage across server disciplines \
          (load {load}, N = {n}; single-slot is the no-co-location control)\n\n{}",
         t.render()
-    )
+    );
+    report
 }
 
 #[cfg(test)]
@@ -199,11 +302,11 @@ mod tests {
         for (i, &load) in loads.iter().enumerate() {
             classical.push((
                 load,
-                sim_point(40, load, 600, Discipline::PaperPairedC, Strategy::UniformRandom, crate::point_seed(99, i as u64, 0)),
+                sim_point(40, load, 600, Discipline::PaperPairedC, Strategy::UniformRandom, crate::point_seed(99, i as u64, 0)).avg_queue_len,
             ));
             quantum.push((
                 load,
-                sim_point(40, load, 600, Discipline::PaperPairedC, Strategy::quantum_ideal(), crate::point_seed(99, i as u64, 1)),
+                sim_point(40, load, 600, Discipline::PaperPairedC, Strategy::quantum_ideal(), crate::point_seed(99, i as u64, 1)).avg_queue_len,
             ));
         }
         let ck = knee_load(&classical, 2.0);
@@ -235,6 +338,7 @@ mod tests {
                         strategy,
                         crate::point_seed(98, lane, r),
                     )
+                    .avg_queue_len
                 })
                 .sum::<f64>()
                 / 4.0

@@ -9,16 +9,18 @@
 //! opportunities — but the ranking between dedicated-servers, uniform
 //! random and quantum pairing is what the caveat is about.
 
+use crate::report::Report;
 use crate::table::{f2, Table};
 use loadbalance::server::Discipline;
 use loadbalance::sim::{run_simulation, SimConfig};
 use loadbalance::strategy::Strategy;
 use loadbalance::task::{BernoulliWorkload, BurstyWorkload};
+use obs::json::Json;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Runs the hybrid-baseline ablation.
-pub fn run(quick: bool) -> String {
+pub fn run(quick: bool) -> Report {
     let (n, steps) = if quick { (40, 600) } else { (100, 3_000) };
     let load = 1.1;
     let subtypes: &[u8] = &[1, 2, 4, 8];
@@ -79,10 +81,18 @@ pub fn run(quick: bool) -> String {
             run_simulation(config, strategy, &mut workload, &mut rng).avg_queue_len
         }
     });
+    let mut report = Report::new("hybrid", 7);
     for (si, (name, _)) in strategies.iter().enumerate() {
         let mut row = vec![name.to_string()];
         for ki in 0..subtypes.len() {
-            row.push(f2(cells[si * subtypes.len() + ki]));
+            let q = cells[si * subtypes.len() + ki];
+            row.push(f2(q));
+            report.point(Json::obj([
+                ("part", Json::str("subtypes")),
+                ("strategy", Json::str(*name)),
+                ("subtypes", Json::uint(subtypes[ki] as u64)),
+                ("avg_queue_len", Json::num(q)),
+            ]));
         }
         t.row(row);
     }
@@ -121,9 +131,28 @@ pub fn run(quick: bool) -> String {
     });
     for ((name, _), q) in bursty_rows.iter().zip(&bursty_queues) {
         t2.row(vec![name.to_string(), f2(*q)]);
+        report.point(Json::obj([
+            ("part", Json::str("bursty")),
+            ("strategy", Json::str(*name)),
+            ("avg_queue_len", Json::num(*q)),
+        ]));
     }
 
-    format!(
+    let bursty_mistuned = bursty_queues[2];
+    let bursty_quantum = bursty_queues[3];
+    report.scalar("bursty.mistuned_dedicated", bursty_mistuned);
+    report.scalar("bursty.quantum", bursty_quantum);
+
+    // Acceptance: under the bursty workload the statically partitioned
+    // baseline must collapse relative to per-round quantum pairing — the
+    // caveat's point (paper calibration: ~167 vs ~4.6).
+    report.check(
+        "bursty-hybrid-fragile",
+        bursty_quantum < bursty_mistuned,
+        format!("quantum {bursty_quantum:.2} < mis-tuned dedicated {bursty_mistuned:.2}"),
+    );
+
+    report.text = format!(
         "E7 — §4.1 caveat: hybrid dedicated-server baseline vs C-subtype count\n\
          (avg queue at load {load}, N = {n}; servers pair only same-subtype C)\n\n{}\n\
          E7b — the same hybrid under a BURSTY workload (phased C fraction\n\
@@ -131,16 +160,19 @@ pub fn run(quick: bool) -> String {
          quantum pairing adapts per round.\n\n{}",
         t.render(),
         t2.render()
-    )
+    );
+    report
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn report_covers_all_strategies() {
-        let out = super::run(true);
+        let report = super::run(true);
+        let out = format!("{report}");
         assert!(out.contains("dedicated-best"));
         assert!(out.contains("paired-quantum"));
         assert!(out.contains("uniform-random"));
+        assert!(report.passed(), "{out}");
     }
 }

@@ -25,8 +25,8 @@ pub const ALL: &[&str] = &[
     "pipeline",
 ];
 
-/// Dispatches one experiment by name.
-pub fn run(name: &str, quick: bool) -> Option<String> {
+/// Dispatches one experiment by name, returning its typed report.
+pub fn run(name: &str, quick: bool) -> Option<crate::Report> {
     Some(match name {
         "chsh" => chsh_exp::run(quick),
         "fig3" => fig3::run(quick),

@@ -1,10 +1,13 @@
 //! # qnlg-bench — the reproduction harness
 //!
 //! One module per paper exhibit (see DESIGN.md's experiment index). Each
-//! experiment exposes a `run(quick: bool) -> String` that computes the
-//! figure's data and renders it as an aligned text table — `quick` trims
+//! experiment exposes a `run(quick: bool) -> Report` that computes the
+//! figure's data and returns a typed [`Report`] — rendered text table,
+//! key scalars, Wilson intervals for Monte-Carlo estimates, per-point
+//! JSON records, and pass/fail acceptance checks. `quick` trims
 //! Monte-Carlo budgets for CI; the `repro` binary defaults to full
-//! budgets.
+//! budgets and can serialize each report as a JSON-lines artifact
+//! (`repro <exp> --json` / `--out <dir>`).
 //!
 //! Heavy sweeps run on the shared `runtime` work-stealing pool
 //! (`runtime::par_map` / `runtime::par_sweep`; CPU-bound work, so an
@@ -14,8 +17,10 @@
 //! the pool size.
 
 pub mod experiments;
+pub mod report;
 pub mod table;
 
+pub use report::{Report, RunContext};
 pub use table::Table;
 
 /// Deterministic per-point seed derived from experiment coordinates

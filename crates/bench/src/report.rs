@@ -1,0 +1,434 @@
+//! Typed experiment reports.
+//!
+//! Every experiment returns a [`Report`]: the rendered text table the
+//! `repro` binary has always printed, plus machine-readable content —
+//! key scalars, binomial estimates with their 95% Wilson intervals, one
+//! JSON object per swept point, and named acceptance checks. The
+//! [`Report::to_json`] method serializes the whole thing as one JSON
+//! line with a stable schema (`qnlg.bench.v1`) for the `BENCH_*.json`
+//! artifacts.
+//!
+//! Determinism contract: everything inside the report is a pure function
+//! of the experiment's seeds, so the JSON line is byte-identical across
+//! worker counts once the two run-environment fields (`threads` and the
+//! `obs` snapshot, which contains `time.*` wall-clock metrics and
+//! scheduling counters) are stripped. The determinism tests do exactly
+//! that.
+
+use obs::json::Json;
+use qmath::stats::Proportion;
+
+/// One named acceptance check with its outcome.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Short identifier, e.g. `"knee-order"`.
+    pub name: String,
+    /// Whether the run satisfied the check.
+    pub passed: bool,
+    /// Human-readable evidence (the numbers that were compared).
+    pub detail: String,
+}
+
+/// The structured result of one experiment run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment name as dispatched by `repro` (e.g. `"fig4"`).
+    pub name: &'static str,
+    /// Seed domain of [`crate::point_seed`] the experiment draws from.
+    pub seed: u64,
+    /// The rendered text report (tables + commentary).
+    pub text: String,
+    /// Key scalar results, in insertion order.
+    pub scalars: Vec<(String, f64)>,
+    /// Monte-Carlo proportions with 95% Wilson intervals.
+    pub intervals: Vec<(String, Proportion)>,
+    /// One JSON object per swept point.
+    pub points: Vec<Json>,
+    /// Acceptance checks evaluated against the run's own numbers.
+    pub checks: Vec<Check>,
+}
+
+impl Report {
+    /// Starts an empty report for `name`, drawing seeds from the
+    /// `point_seed` domain `seed`.
+    pub fn new(name: &'static str, seed: u64) -> Self {
+        Report {
+            name,
+            seed,
+            text: String::new(),
+            scalars: Vec::new(),
+            intervals: Vec::new(),
+            points: Vec::new(),
+            checks: Vec::new(),
+        }
+    }
+
+    /// Records a key scalar.
+    pub fn scalar(&mut self, name: impl Into<String>, value: f64) -> &mut Self {
+        self.scalars.push((name.into(), value));
+        self
+    }
+
+    /// Records a proportion with its Wilson interval.
+    pub fn interval(&mut self, name: impl Into<String>, p: Proportion) -> &mut Self {
+        self.intervals.push((name.into(), p));
+        self
+    }
+
+    /// Appends a per-point JSON object.
+    pub fn point(&mut self, point: Json) -> &mut Self {
+        self.points.push(point);
+        self
+    }
+
+    /// Records an acceptance check.
+    pub fn check(
+        &mut self,
+        name: impl Into<String>,
+        passed: bool,
+        detail: impl Into<String>,
+    ) -> &mut Self {
+        self.checks.push(Check {
+            name: name.into(),
+            passed,
+            detail: detail.into(),
+        });
+        self
+    }
+
+    /// True if every acceptance check passed (vacuously true with none).
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// A one-line pass/fail summary of the checks, for the text output.
+    pub fn check_summary(&self) -> String {
+        if self.checks.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("checks:\n");
+        for c in &self.checks {
+            let mark = if c.passed { "PASS" } else { "FAIL" };
+            out.push_str(&format!("  [{mark}] {} — {}\n", c.name, c.detail));
+        }
+        out
+    }
+
+    /// Serializes as one `qnlg.bench.v1` JSON object.
+    pub fn to_json(&self, ctx: &RunContext) -> Json {
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("schema".into(), Json::str("qnlg.bench.v1")),
+            ("experiment".into(), Json::str(self.name)),
+            ("quick".into(), Json::Bool(ctx.quick)),
+            ("seed".into(), Json::uint(self.seed)),
+            ("threads".into(), Json::uint(ctx.threads as u64)),
+            ("git".into(), Json::str(ctx.git.clone())),
+            ("passed".into(), Json::Bool(self.passed())),
+            (
+                "checks".into(),
+                Json::Arr(
+                    self.checks
+                        .iter()
+                        .map(|c| {
+                            Json::obj([
+                                ("name", Json::str(c.name.clone())),
+                                ("passed", Json::Bool(c.passed)),
+                                ("detail", Json::str(c.detail.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "scalars".into(),
+                Json::Obj(
+                    self.scalars
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "intervals".into(),
+                Json::Obj(
+                    self.intervals
+                        .iter()
+                        .map(|(k, p)| (k.clone(), proportion_to_json(p)))
+                        .collect(),
+                ),
+            ),
+            ("points".into(), Json::Arr(self.points.clone())),
+        ];
+        pairs.push((
+            "obs".into(),
+            match &ctx.obs {
+                Some(snap) => obs_to_json(snap),
+                None => Json::Null,
+            },
+        ));
+        Json::Obj(pairs)
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.text)?;
+        let summary = self.check_summary();
+        if !summary.is_empty() {
+            write!(f, "\n{summary}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Run-environment fields attached at serialization time (they are not
+/// part of the experiment's deterministic result).
+#[derive(Debug, Clone)]
+pub struct RunContext {
+    /// Whether the run used the quick (CI) Monte-Carlo budget.
+    pub quick: bool,
+    /// Worker threads the sweep pool used.
+    pub threads: usize,
+    /// `git describe` of the producing tree, or `"unknown"`.
+    pub git: String,
+    /// Metrics snapshot covering exactly this experiment's run.
+    pub obs: Option<obs::Snapshot>,
+}
+
+impl RunContext {
+    /// The context `repro` uses: current pool width and git revision.
+    pub fn current(quick: bool, obs: Option<obs::Snapshot>) -> Self {
+        RunContext {
+            quick,
+            threads: runtime::thread_count(),
+            git: git_describe(),
+            obs,
+        }
+    }
+}
+
+/// `git describe --always --dirty` of the working tree, `"unknown"` when
+/// git or the repository is unavailable.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn proportion_to_json(p: &Proportion) -> Json {
+    Json::obj([
+        ("estimate", Json::Num(p.estimate)),
+        ("lo", Json::Num(p.lo)),
+        ("hi", Json::Num(p.hi)),
+        ("trials", Json::uint(p.trials)),
+    ])
+}
+
+/// Serializes an obs snapshot: counters and gauges verbatim, histograms
+/// as summary objects (count/sum/min/max/mean plus p50/p99 upper
+/// bounds). Metric names under `time.` are wall-clock and therefore
+/// non-deterministic by contract.
+pub fn obs_to_json(snap: &obs::Snapshot) -> Json {
+    let hist_json = |h: &obs::HistSnapshot| {
+        Json::obj([
+            ("count", Json::uint(h.count)),
+            ("sum", Json::uint(h.sum)),
+            ("min", if h.count > 0 { Json::uint(h.min) } else { Json::Null }),
+            ("max", if h.count > 0 { Json::uint(h.max) } else { Json::Null }),
+            ("mean", Json::num(h.mean())),
+            (
+                "p50",
+                h.percentile(0.5).map_or(Json::Null, Json::uint),
+            ),
+            (
+                "p99",
+                h.percentile(0.99).map_or(Json::Null, Json::uint),
+            ),
+        ])
+    };
+    Json::obj([
+        (
+            "counters",
+            Json::Obj(
+                snap.counters
+                    .iter()
+                    .map(|(n, v)| (n.clone(), Json::uint(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges",
+            Json::Obj(
+                snap.gauges
+                    .iter()
+                    .map(|(n, g)| {
+                        (
+                            n.clone(),
+                            Json::obj([
+                                ("value", Json::Int(g.value)),
+                                (
+                                    "high_water",
+                                    if g.high_water == i64::MIN {
+                                        Json::Null
+                                    } else {
+                                        Json::Int(g.high_water)
+                                    },
+                                ),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "hists",
+            Json::Obj(
+                snap.hists
+                    .iter()
+                    .map(|(n, h)| (n.clone(), hist_json(h)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Serializes a full [`loadbalance::metrics::SimResult`] as a JSON
+/// object — the per-point payload of the Figure 4 family.
+pub fn sim_result_to_json(r: &loadbalance::metrics::SimResult) -> Json {
+    Json::obj([
+        ("strategy", Json::str(r.strategy)),
+        ("load", Json::num(r.load)),
+        ("avg_queue_len", Json::num(r.avg_queue_len)),
+        ("avg_wait", Json::num(r.avg_wait)),
+        ("p50_wait", Json::num(r.p50_wait)),
+        ("p99_wait", Json::num(r.p99_wait)),
+        ("max_queue_len", Json::uint(r.max_queue_len as u64)),
+        ("served", Json::uint(r.served)),
+        ("generated", Json::uint(r.generated)),
+        ("cc_colocation_rate", Json::num(r.cc_colocation_rate)),
+        ("split_rate", Json::num(r.split_rate)),
+        ("cc_rounds", Json::uint(r.cc_rounds)),
+        ("cc_colocated", Json::uint(r.cc_colocated)),
+        ("other_rounds", Json::uint(r.other_rounds)),
+        ("other_split", Json::uint(r.other_split)),
+        (
+            "queue_len_series",
+            Json::Arr(r.queue_len_series.iter().map(|&v| Json::num(v)).collect()),
+        ),
+    ])
+}
+
+/// The artifact schema's required top-level fields, shared by the
+/// `check-artifacts` validator and the schema tests.
+pub const REQUIRED_FIELDS: &[&str] = &[
+    "schema",
+    "experiment",
+    "quick",
+    "seed",
+    "threads",
+    "git",
+    "passed",
+    "checks",
+    "scalars",
+    "intervals",
+    "points",
+    "obs",
+];
+
+/// Validates one artifact line against the `qnlg.bench.v1` schema.
+///
+/// # Errors
+/// A message naming the parse failure or the first missing/mistyped
+/// field.
+pub fn validate_artifact_line(line: &str) -> Result<Json, String> {
+    let doc = Json::parse(line)?;
+    for field in REQUIRED_FIELDS {
+        if doc.get(field).is_none() {
+            return Err(format!("missing required field '{field}'"));
+        }
+    }
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("qnlg.bench.v1") => {}
+        other => return Err(format!("unsupported schema {other:?}")),
+    }
+    if doc.get("points").and_then(Json::as_arr).is_none() {
+        return Err("'points' is not an array".into());
+    }
+    if doc.get("checks").and_then(Json::as_arr).is_none() {
+        return Err("'checks' is not an array".into());
+    }
+    if doc.get("seed").and_then(Json::as_i64).is_none() {
+        return Err("'seed' is not an integer".into());
+    }
+    if doc.get("threads").and_then(Json::as_i64).is_none() {
+        return Err("'threads' is not an integer".into());
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let mut r = Report::new("sample", 7);
+        r.text = "a table\n".into();
+        r.scalar("knee", 1.2);
+        r.interval("cc", qmath::stats::wilson(850, 1000));
+        r.point(Json::obj([("load", Json::num(1.0))]));
+        r.check("sane", true, "1.2 < 2.0");
+        r
+    }
+
+    #[test]
+    fn report_roundtrips_through_schema() {
+        let r = sample_report();
+        let ctx = RunContext {
+            quick: true,
+            threads: 4,
+            git: "test".into(),
+            obs: None,
+        };
+        let line = r.to_json(&ctx).render();
+        let doc = validate_artifact_line(&line).expect("valid artifact");
+        assert_eq!(doc.get("experiment").unwrap().as_str(), Some("sample"));
+        assert_eq!(doc.get("seed").unwrap().as_i64(), Some(7));
+        assert_eq!(doc.get("passed").unwrap().as_bool(), Some(true));
+        let interval = doc.get("intervals").unwrap().get("cc").unwrap();
+        assert!(interval.get("lo").unwrap().as_f64().unwrap() < 0.85);
+        assert!(interval.get("hi").unwrap().as_f64().unwrap() > 0.85);
+    }
+
+    #[test]
+    fn failed_check_fails_report() {
+        let mut r = sample_report();
+        assert!(r.passed());
+        r.check("broken", false, "2 > 1 failed");
+        assert!(!r.passed());
+        assert!(r.check_summary().contains("[FAIL] broken"));
+    }
+
+    #[test]
+    fn validator_rejects_bad_lines() {
+        assert!(validate_artifact_line("not json").is_err());
+        assert!(validate_artifact_line("{}").is_err());
+        assert!(
+            validate_artifact_line(r#"{"schema":"qnlg.bench.v2"}"#).is_err(),
+            "wrong schema version must be rejected"
+        );
+    }
+
+    #[test]
+    fn display_appends_check_summary() {
+        let r = sample_report();
+        let shown = format!("{r}");
+        assert!(shown.starts_with("a table"));
+        assert!(shown.contains("[PASS] sane"));
+    }
+}

@@ -27,16 +27,71 @@ fn par_sweep_6x10_grid_is_worker_count_invariant() {
     }
 }
 
+/// Renders a report as a `qnlg.bench.v1` JSON line with the two
+/// run-environment fields (`threads`, `obs`) pinned, so any remaining
+/// byte difference is a real determinism violation.
+fn canonical_json(report: &qnlg_bench::Report) -> String {
+    let ctx = qnlg_bench::RunContext {
+        quick: true,
+        threads: 0,
+        git: "pinned".into(),
+        obs: None,
+    };
+    report.to_json(&ctx).render()
+}
+
 /// End-to-end: the rendered E2 (Figure 4) quick report is identical no
 /// matter how many workers computed it.
 #[test]
 fn fig4_quick_report_is_identical_at_any_thread_count() {
     let sequential = qnlg_bench::experiments::fig4::run_with_threads(1, true);
+    let reference_text = format!("{sequential}");
+    let reference_json = canonical_json(&sequential);
     for threads in [2, runtime::thread_count()] {
+        let report = qnlg_bench::experiments::fig4::run_with_threads(threads, true);
         assert_eq!(
-            qnlg_bench::experiments::fig4::run_with_threads(threads, true),
-            sequential,
-            "{threads} workers changed the report"
+            format!("{report}"),
+            reference_text,
+            "{threads} workers changed the text report"
         );
+        assert_eq!(
+            canonical_json(&report),
+            reference_json,
+            "{threads} workers changed the JSON artifact"
+        );
+    }
+}
+
+/// The JSON artifact line for fig4 must validate against the schema and
+/// carry the fields the acceptance criteria promise: seed, thread count,
+/// per-point SimResult fields, and Wilson intervals.
+#[test]
+fn fig4_artifact_line_matches_schema() {
+    let report = qnlg_bench::experiments::fig4::run_with_threads(2, true);
+    let ctx = qnlg_bench::RunContext {
+        quick: true,
+        threads: 2,
+        git: "test".into(),
+        obs: None,
+    };
+    let line = report.to_json(&ctx).render();
+    let doc = qnlg_bench::report::validate_artifact_line(&line).expect("valid artifact line");
+    assert_eq!(doc.get("experiment").unwrap().as_str(), Some("fig4"));
+    assert_eq!(doc.get("seed").unwrap().as_i64(), Some(40));
+    assert_eq!(doc.get("threads").unwrap().as_i64(), Some(2));
+    let points = doc.get("points").unwrap().as_arr().unwrap();
+    assert!(!points.is_empty());
+    for p in points {
+        for field in ["strategy", "load", "avg_queue_len", "cc_colocation_rate"] {
+            assert!(p.get(field).is_some(), "point missing {field}: {}", p.render());
+        }
+    }
+    let intervals = doc.get("intervals").unwrap().as_obj().unwrap();
+    assert!(!intervals.is_empty(), "fig4 must report Wilson intervals");
+    for (name, ci) in intervals {
+        let lo = ci.get("lo").unwrap().as_f64().unwrap();
+        let hi = ci.get("hi").unwrap().as_f64().unwrap();
+        let est = ci.get("estimate").unwrap().as_f64().unwrap();
+        assert!(lo <= est && est <= hi, "interval {name} out of order");
     }
 }

@@ -1,0 +1,106 @@
+//! Property tests pinning the obs histogram against the exact
+//! nearest-rank percentile routine used by the simulator
+//! (`loadbalance::metrics::percentile`), plus the shard-merge exactness
+//! contract. These live in qnlg-bench because obs (deliberately) does
+//! not depend on loadbalance.
+
+use loadbalance::metrics::percentile;
+use obs::{bucket_bounds, bucket_index, HistSnapshot, HIST_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any sample multiset and any quantile, the histogram's
+    /// `percentile_bounds` must bracket the exact nearest-rank
+    /// percentile of the raw samples.
+    #[test]
+    fn bounds_bracket_exact_nearest_rank(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..400),
+        q_mil in 0u64..1_000_001)
+    {
+        let q = q_mil as f64 / 1_000_000.0;
+        let mut h = HistSnapshot::empty();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let exact = percentile(&sorted, q) as u64;
+        let (lo, hi) = h.percentile_bounds(q).unwrap();
+        prop_assert!(
+            lo <= exact && exact <= hi,
+            "q={}: exact {} outside [{}, {}]", q, exact, lo, hi
+        );
+        // The point estimate is the bracket's upper edge by contract.
+        prop_assert_eq!(h.percentile(q), Some(hi));
+    }
+
+    /// The bracket is never wider than one bucket (a factor-of-two band)
+    /// clipped to the observed extrema.
+    #[test]
+    fn bounds_stay_within_one_bucket(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..200),
+        q_mil in 0u64..1_000_001)
+    {
+        let q = q_mil as f64 / 1_000_000.0;
+        let mut h = HistSnapshot::empty();
+        for &v in &samples {
+            h.record(v);
+        }
+        let (lo, hi) = h.percentile_bounds(q).unwrap();
+        prop_assert!(lo <= hi);
+        let b = bucket_index(hi);
+        let (blo, bhi) = bucket_bounds(b);
+        prop_assert!(blo <= lo && hi <= bhi, "bracket spans buckets");
+    }
+
+    /// Recording a stream split across shards and merging must equal
+    /// recording everything into one snapshot — merge loses nothing.
+    #[test]
+    fn merged_shards_equal_single_recording(
+        samples in proptest::collection::vec(0u64..u64::MAX, 0..300),
+        n_shards in 1usize..6)
+    {
+        let mut shards = vec![HistSnapshot::empty(); n_shards];
+        let mut single = HistSnapshot::empty();
+        for (i, &v) in samples.iter().enumerate() {
+            shards[i % n_shards].record(v);
+            single.record(v);
+        }
+        let mut merged = HistSnapshot::empty();
+        for s in &shards {
+            merged.merge(s);
+        }
+        prop_assert_eq!(merged, single);
+    }
+
+    /// Sanity on the bucketing itself: every value's bucket covers it.
+    #[test]
+    fn bucket_covers_value(v in any::<u64>()) {
+        let b = bucket_index(v);
+        prop_assert!(b < HIST_BUCKETS);
+        let (lo, hi) = bucket_bounds(b);
+        prop_assert!(lo <= v && v <= hi);
+    }
+}
+
+/// The live sharded histogram (exercised through the registry handle)
+/// must agree with a single-threaded snapshot of the same samples.
+#[test]
+fn registry_hist_merges_shards_exactly() {
+    // The other tests in this binary never touch the registry or the
+    // enabled flag, so toggling it here races with nothing.
+    obs::set_enabled(true);
+    let h = obs::hist("test.bench.hist_props");
+    let mut reference = HistSnapshot::empty();
+    for v in 0..500u64 {
+        let x = v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h.record_shard(v as usize, x);
+        reference.record(x);
+    }
+    let snap = obs::snapshot();
+    obs::set_enabled(false);
+    let recorded = snap.hist("test.bench.hist_props").expect("hist present");
+    assert_eq!(recorded, &reference);
+}

@@ -28,6 +28,20 @@ pub struct SimResult {
     /// Fraction of non-CC pair-rounds that split. NaN for unpaired
     /// strategies.
     pub split_rate: f64,
+    /// CC pair-rounds observed (denominator of `cc_colocation_rate`;
+    /// raw counts let reports attach binomial confidence intervals).
+    pub cc_rounds: u64,
+    /// CC pair-rounds that co-located (numerator of `cc_colocation_rate`).
+    pub cc_colocated: u64,
+    /// Non-CC pair-rounds observed (denominator of `split_rate`).
+    pub other_rounds: u64,
+    /// Non-CC pair-rounds that split (numerator of `split_rate`).
+    pub other_split: u64,
+    /// Mean queue length per server in consecutive windows of the
+    /// measurement period (time series for stability diagnostics; up to
+    /// [`crate::sim::QUEUE_SERIES_WINDOWS`] entries, fewer when the run
+    /// has fewer timesteps than windows).
+    pub queue_len_series: Vec<f64>,
 }
 
 impl SimResult {
@@ -94,6 +108,11 @@ mod tests {
             generated: 1000,
             cc_colocation_rate: f64::NAN,
             split_rate: f64::NAN,
+            cc_rounds: 0,
+            cc_colocated: 0,
+            other_rounds: 0,
+            other_split: 0,
+            queue_len_series: Vec::new(),
         };
         assert!(!r.is_saturated());
         r.served = 500;

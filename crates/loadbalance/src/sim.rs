@@ -13,6 +13,23 @@ use crate::strategy::Strategy;
 use crate::task::{Task, TaskType, Workload};
 use rand::Rng;
 
+/// Maximum length of [`SimResult::queue_len_series`]: the measurement
+/// period is split into this many equal windows.
+pub const QUEUE_SERIES_WINDOWS: usize = 32;
+
+/// Simulation runs completed.
+static SIM_RUNS: obs::LazyCounter = obs::LazyCounter::new("lb.sim.runs");
+/// Timesteps simulated (warmup included).
+static SIM_STEPS: obs::LazyCounter = obs::LazyCounter::new("lb.sim.steps");
+/// Total queue length across servers, one sample per measured timestep.
+static QUEUE_TOTAL: obs::LazyHist = obs::LazyHist::new("lb.queue.total");
+/// CC pair-rounds that co-located / all CC pair-rounds.
+static CC_COLOCATED: obs::LazyCounter = obs::LazyCounter::new("lb.pairs.cc_colocated");
+static CC_ROUNDS: obs::LazyCounter = obs::LazyCounter::new("lb.pairs.cc_rounds");
+/// Non-CC pair-rounds that split / all non-CC pair-rounds.
+static OTHER_SPLIT: obs::LazyCounter = obs::LazyCounter::new("lb.pairs.other_split");
+static OTHER_ROUNDS: obs::LazyCounter = obs::LazyCounter::new("lb.pairs.other_rounds");
+
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, Copy)]
 pub struct SimConfig {
@@ -129,6 +146,11 @@ where
     let mut tasks: Vec<TaskType> = Vec::with_capacity(config.n_balancers);
     let mut queue_lens: Vec<usize> = vec![0; config.n_servers];
 
+    // Per-window queue-length accumulators for the time series.
+    let windows = QUEUE_SERIES_WINDOWS.min(config.timesteps as usize);
+    let mut win_queue_sum = vec![0u64; windows];
+    let mut win_samples = vec![0u64; windows];
+
     for t in 0..total_steps {
         if t == config.warmup {
             served_before_window = servers.iter().map(|s| s.served).sum();
@@ -159,11 +181,17 @@ where
 
         if t >= config.warmup {
             generated += config.n_balancers as u64;
+            let mut step_total = 0u64;
             for s in &servers {
                 let q = s.queue_len();
                 queue_len_sum += q as u64;
+                step_total += q as u64;
                 max_queue = max_queue.max(q);
             }
+            QUEUE_TOTAL.record(step_total);
+            let w = ((t - config.warmup) as usize * windows) / config.timesteps as usize;
+            win_queue_sum[w] += step_total;
+            win_samples[w] += config.n_servers as u64;
             if paired {
                 let mut i = 0;
                 while i + 1 < tasks.len() {
@@ -192,6 +220,20 @@ where
         servers.iter().map(|s| s.total_wait).sum::<u64>() - wait_before_window;
     let samples = config.timesteps * config.n_servers as u64;
 
+    SIM_RUNS.inc();
+    SIM_STEPS.add(total_steps);
+    CC_ROUNDS.add(cc_rounds);
+    CC_COLOCATED.add(cc_colocated);
+    OTHER_ROUNDS.add(other_rounds);
+    OTHER_SPLIT.add(other_split);
+
+    let queue_len_series: Vec<f64> = win_queue_sum
+        .iter()
+        .zip(&win_samples)
+        .filter(|(_, &n)| n > 0)
+        .map(|(&s, &n)| s as f64 / n as f64)
+        .collect();
+
     SimResult {
         strategy: strat.name(),
         load: config.load(),
@@ -216,6 +258,11 @@ where
         } else {
             f64::NAN
         },
+        cc_rounds,
+        cc_colocated,
+        other_rounds,
+        other_split,
+        queue_len_series,
     }
 }
 
@@ -232,6 +279,7 @@ pub fn load_sweep<R: Rng>(
 ) -> Vec<(f64, f64)> {
     let master = rng.next_u64();
     runtime::par_sweep(master, loads, |_, &load, rng| {
+        let _span = obs::span!("sweep.point");
         let config = SimConfig::paper(load);
         let mut workload = crate::task::BernoulliWorkload::paper();
         let r = run_simulation(config, strategy, &mut workload, rng);
@@ -353,6 +401,34 @@ mod tests {
             "split rate {} vs {expect}",
             r.split_rate
         );
+    }
+
+    #[test]
+    fn queue_series_and_raw_counts_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let r = run_simulation(
+            quick(1.0),
+            Strategy::quantum_ideal(),
+            &mut BernoulliWorkload::paper(),
+            &mut rng,
+        );
+        assert_eq!(r.queue_len_series.len(), QUEUE_SERIES_WINDOWS);
+        // Window means aggregate to (approximately — windows differ by at
+        // most one step in width) the overall mean.
+        let series_mean =
+            r.queue_len_series.iter().sum::<f64>() / r.queue_len_series.len() as f64;
+        assert!(
+            (series_mean - r.avg_queue_len).abs() < 0.05 * r.avg_queue_len.max(1.0),
+            "series mean {series_mean} vs avg {}",
+            r.avg_queue_len
+        );
+        // The published rates are exactly the raw-count ratios.
+        assert!(r.cc_rounds > 0);
+        assert_eq!(
+            r.cc_colocation_rate,
+            r.cc_colocated as f64 / r.cc_rounds as f64
+        );
+        assert_eq!(r.split_rate, r.other_split as f64 / r.other_rounds as f64);
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! Log-bucketed histograms for latencies and sizes.
+//!
+//! Values are `u64`s binned by position of their highest set bit: bucket
+//! 0 holds exactly `0`, bucket `b ≥ 1` holds `[2^(b−1), 2^b − 1]`. Two
+//! properties follow:
+//!
+//! - fixed memory (65 buckets) over the full `u64` range, and
+//! - any percentile estimated from the buckets brackets the exact
+//!   nearest-rank percentile of the recorded samples to within one
+//!   power of two ([`HistSnapshot::percentile_bounds`] — the contract
+//!   the property tests in `qnlg-bench` pin against
+//!   `loadbalance::metrics::percentile`).
+//!
+//! Live histograms are sharded across [`HIST_SHARDS`] independent bucket
+//! arrays so concurrent recorders (pool workers) don't contend on one
+//! cache line; a snapshot merges the shards. Merging is exact: summing
+//! per-bucket counts loses nothing, so a merged multi-shard recording
+//! equals a single-shard recording of the same samples.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of buckets: one for zero plus one per possible highest bit.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Number of independent shards in a live histogram.
+pub const HIST_SHARDS: usize = 4;
+
+/// Bucket index of a value: 0 for 0, else `floor(log2(v)) + 1`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` value range covered by bucket `b`.
+///
+/// # Panics
+/// Panics if `b >= HIST_BUCKETS`.
+pub fn bucket_bounds(b: usize) -> (u64, u64) {
+    assert!(b < HIST_BUCKETS, "bucket {b} out of range");
+    if b == 0 {
+        (0, 0)
+    } else if b == 64 {
+        (1 << 63, u64::MAX)
+    } else {
+        (1 << (b - 1), (1 << b) - 1)
+    }
+}
+
+/// One shard: a full bucket array plus summary atomics.
+#[derive(Debug)]
+struct Shard {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+/// The storage behind a registered histogram handle.
+#[derive(Debug)]
+pub(crate) struct HistInner {
+    shards: [Shard; HIST_SHARDS],
+    /// Round-robin shard assignment for recorders without a preference.
+    next_shard: AtomicUsize,
+}
+
+impl HistInner {
+    pub(crate) fn new() -> Self {
+        HistInner {
+            shards: std::array::from_fn(|_| Shard::new()),
+            next_shard: AtomicUsize::new(0),
+        }
+    }
+
+    /// Records into an explicit shard (callers with a stable worker
+    /// index use it to avoid cross-worker contention).
+    pub(crate) fn record_shard(&self, shard: usize, v: u64) {
+        self.shards[shard % HIST_SHARDS].record(v);
+    }
+
+    /// Records into a round-robin-assigned shard.
+    pub(crate) fn record(&self, v: u64) {
+        let s = self.next_shard.fetch_add(1, Ordering::Relaxed);
+        self.record_shard(s, v);
+    }
+
+    /// Zeroes all shards in place (handles stay live). Not linearizable
+    /// against concurrent recorders.
+    pub(crate) fn clear(&self) {
+        for shard in &self.shards {
+            for b in &shard.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            shard.count.store(0, Ordering::Relaxed);
+            shard.sum.store(0, Ordering::Relaxed);
+            shard.min.store(u64::MAX, Ordering::Relaxed);
+            shard.max.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Merged view of all shards.
+    pub(crate) fn snapshot(&self) -> HistSnapshot {
+        let mut snap = HistSnapshot::empty();
+        for shard in &self.shards {
+            let mut s = HistSnapshot::empty();
+            for (b, v) in shard.buckets.iter().enumerate() {
+                s.buckets[b] = v.load(Ordering::Relaxed);
+            }
+            s.count = shard.count.load(Ordering::Relaxed);
+            s.sum = shard.sum.load(Ordering::Relaxed);
+            s.min = shard.min.load(Ordering::Relaxed);
+            s.max = shard.max.load(Ordering::Relaxed);
+            snap.merge(&s);
+        }
+        snap
+    }
+}
+
+/// A merged, immutable view of a histogram: per-bucket counts plus
+/// summary statistics. Shard merges and cross-run merges both go
+/// through [`HistSnapshot::merge`], which is exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts (see [`bucket_index`]).
+    pub buckets: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping add on overflow).
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// A snapshot with no samples.
+    pub fn empty() -> Self {
+        HistSnapshot {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value (snapshots double as single-threaded builders
+    /// in tests and reports).
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges another snapshot in. Exact: bucket counts add, extrema
+    /// combine.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the recorded values; NaN when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Inclusive `[lo, hi]` bounds bracketing the exact nearest-rank
+    /// `q`-percentile of the recorded samples, tightened by the observed
+    /// min/max. `None` when empty.
+    ///
+    /// Guarantee: for any sample multiset, the exact nearest-rank
+    /// percentile (as computed by a sorted-sample nearest-rank routine)
+    /// lies inside the returned bounds.
+    pub fn percentile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        if self.count == 0 {
+            return None;
+        }
+        debug_assert!((0.0..=1.0).contains(&q));
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                let (lo, hi) = bucket_bounds(b);
+                return Some((lo.max(self.min), hi.min(self.max)));
+            }
+        }
+        unreachable!("cumulative bucket count {cum} < rank {rank}")
+    }
+
+    /// Upper-bound point estimate of the `q`-percentile (the bracketing
+    /// bucket's high edge); `None` when empty.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        self.percentile_bounds(q).map(|(_, hi)| hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for b in 0..HIST_BUCKETS {
+            let (lo, hi) = bucket_bounds(b);
+            assert_eq!(bucket_index(lo), b);
+            assert_eq!(bucket_index(hi), b);
+        }
+    }
+
+    #[test]
+    fn snapshot_records_and_summarizes() {
+        let mut s = HistSnapshot::empty();
+        for v in [0u64, 1, 5, 8, 1000] {
+            s.record(v);
+        }
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.sum, 1014);
+        assert!((s.mean() - 202.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_bounds_bracket_exact_values() {
+        let mut s = HistSnapshot::empty();
+        let samples: Vec<u64> = (0..100).map(|i| i * 7).collect();
+        for &v in &samples {
+            s.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let (lo, hi) = s.percentile_bounds(q).unwrap();
+            assert!(
+                lo <= exact && exact <= hi,
+                "q={q}: exact {exact} outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_percentile_is_none() {
+        assert_eq!(HistSnapshot::empty().percentile_bounds(0.5), None);
+        assert!(HistSnapshot::empty().mean().is_nan());
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = HistSnapshot::empty();
+        let mut b = HistSnapshot::empty();
+        let mut both = HistSnapshot::empty();
+        for v in 0..50u64 {
+            a.record(v * 3);
+            both.record(v * 3);
+        }
+        for v in 0..30u64 {
+            b.record(v * 11 + 1);
+            both.record(v * 11 + 1);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn sharded_inner_merges_exactly() {
+        let inner = HistInner::new();
+        let mut reference = HistSnapshot::empty();
+        for v in 0..200u64 {
+            inner.record_shard(v as usize, v);
+            reference.record(v);
+        }
+        assert_eq!(inner.snapshot(), reference);
+    }
+}

@@ -7,6 +7,9 @@ use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// Events processed (popped) across all queues in the process.
+static DES_EVENTS: obs::LazyCounter = obs::LazyCounter::new("qnet.des.events");
+
 struct Entry<E> {
     time: SimTime,
     seq: u64,
@@ -80,6 +83,7 @@ impl<E> EventQueue<E> {
     /// Pops the earliest event, advancing the clock to it.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let entry = self.heap.pop()?;
+        DES_EVENTS.inc();
         self.now = entry.time;
         Some((entry.time, entry.payload))
     }

@@ -23,6 +23,15 @@ use qsim::{DensityMatrix, SharedPair};
 use rand::Rng;
 use std::time::Duration;
 
+/// Pairs emitted by any distribution source in the process.
+static EPR_EMITTED: obs::LazyCounter = obs::LazyCounter::new("qnet.epr.emitted");
+/// Pairs lost to fiber attenuation (either half absorbed).
+static EPR_LOST_FIBER: obs::LazyCounter = obs::LazyCounter::new("qnet.epr.lost_fiber");
+/// Pairs successfully consumed by a decision.
+static EPR_CONSUMED: obs::LazyCounter = obs::LazyCounter::new("qnet.epr.consumed");
+/// Consumption attempts that found no buffered pair.
+static EPR_MISSES: obs::LazyCounter = obs::LazyCounter::new("qnet.epr.misses");
+
 /// Which buffered pair a consumption request takes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ConsumePolicy {
@@ -145,6 +154,7 @@ impl EntanglementDistributor {
         while self.next_emission <= now {
             let t = self.next_emission;
             self.stats.emitted += 1;
+            EPR_EMITTED.inc();
             let id = self.next_pair_id;
             self.next_pair_id += 1;
 
@@ -164,6 +174,7 @@ impl EntanglementDistributor {
                 }
             } else {
                 self.stats.lost_in_fiber += 1;
+                EPR_LOST_FIBER.inc();
             }
             self.next_emission = self.config.source.next_emission(t, rng);
         }
@@ -189,6 +200,7 @@ impl EntanglementDistributor {
                 Some(q) => q,
                 None => {
                     self.stats.misses += 1;
+                    EPR_MISSES.inc();
                     return None;
                 }
             };
@@ -208,6 +220,7 @@ impl EntanglementDistributor {
             let rho = ch_a.apply(&rho, 0).expect("qubit 0 in range");
             let rho = ch_b.apply(&rho, 1).expect("qubit 1 in range");
             self.stats.consumed += 1;
+            EPR_CONSUMED.inc();
             return Some(SharedPair::from_density(rho).expect("two qubits"));
         }
     }

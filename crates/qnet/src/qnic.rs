@@ -16,6 +16,14 @@ use qsim::noise::KrausChannel;
 use std::collections::VecDeque;
 use std::time::Duration;
 
+/// Arrivals that overwrote the oldest stored qubit (memory full).
+static QNIC_OVERWRITE_DROPS: obs::LazyCounter =
+    obs::LazyCounter::new("qnet.qnic.overwrite_drops");
+/// Qubits evicted for exceeding the maximum storage age.
+static QNIC_EXPIRED: obs::LazyCounter = obs::LazyCounter::new("qnet.qnic.expired");
+/// Occupancy high-water mark across all NICs in the process.
+static QNIC_OCCUPANCY: obs::LazyGauge = obs::LazyGauge::new("qnet.qnic.occupancy");
+
 /// A qubit half-pair sitting in QNIC memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoredQubit {
@@ -90,11 +98,13 @@ impl Qnic {
     pub fn store(&mut self, pair_id: u64, arrival: SimTime) -> Option<StoredQubit> {
         let evicted = if self.slots.len() >= self.capacity {
             self.dropped_full += 1;
+            QNIC_OVERWRITE_DROPS.inc();
             self.slots.pop_front()
         } else {
             None
         };
         self.slots.push_back(StoredQubit { pair_id, arrival });
+        QNIC_OCCUPANCY.set_max(self.slots.len() as i64);
         evicted
     }
 
@@ -106,6 +116,7 @@ impl Qnic {
         self.slots.retain(|q| now.duration_since(q.arrival) <= max_age);
         let evicted = before - self.slots.len();
         self.expired += evicted as u64;
+        QNIC_EXPIRED.add(evicted as u64);
         evicted
     }
 

@@ -18,6 +18,12 @@ use qsim::{gates, DensityMatrix, SimError};
 use qmath::CMatrix;
 use rand::Rng;
 
+/// Swaps performed.
+static SWAPS: obs::LazyCounter = obs::LazyCounter::new("qnet.swap.count");
+/// End-to-end Werner visibility of swapped pairs, in basis points
+/// (v × 10⁴, clamped to [0, 10⁴]).
+static SWAP_VISIBILITY_BP: obs::LazyHist = obs::LazyHist::new("qnet.swap.visibility_bp");
+
 /// The outcome of a swap: the end-to-end pair (A, B) plus the midpoint's
 /// Bell-measurement outcome bits (already corrected for — reported for
 /// bookkeeping/heralding).
@@ -70,6 +76,15 @@ pub fn entanglement_swap<R: Rng + ?Sized>(
     }
 
     let pair = joint.partial_trace(&[0, 3])?;
+    SWAPS.inc();
+    if obs::enabled() {
+        // The fidelity estimate is itself a small matrix contraction, so
+        // it runs only while collection is on.
+        if let Ok(f) = pair.fidelity_with_pure(&qsim::bell::phi_plus()) {
+            let v = ((4.0 * f - 1.0) / 3.0).clamp(0.0, 1.0);
+            SWAP_VISIBILITY_BP.record((v * 1e4).round() as u64);
+        }
+    }
     Ok(SwapOutcome { pair, m1, m2 })
 }
 

@@ -10,16 +10,40 @@
 //! independent of scheduling.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
+use std::time::{Duration, Instant};
+
+/// Items mapped (inline or pooled) — deterministic for a given workload.
+static ITEMS_EXECUTED: obs::LazyCounter = obs::LazyCounter::new("pool.items.executed");
+/// Chunks a worker drained from its own deque.
+static CHUNKS_OWN: obs::LazyCounter = obs::LazyCounter::new("pool.chunks.own");
+/// Chunks a worker stole from a neighbor's deque.
+static CHUNKS_STOLEN: obs::LazyCounter = obs::LazyCounter::new("pool.chunks.stolen");
+/// Workers spawned across all pooled calls.
+static WORKERS_SPAWNED: obs::LazyCounter = obs::LazyCounter::new("pool.workers.spawned");
+/// Chunk sizes in items, sharded per worker.
+static CHUNK_ITEMS: obs::LazyHist = obs::LazyHist::new("pool.chunk.items");
+/// Per-worker wall-clock spent inside `f` (one sample per worker).
+static WORKER_BUSY_NS: obs::LazyHist = obs::LazyHist::new("time.pool.worker.busy.ns");
+/// Per-worker wall-clock spent queueing/stealing/waiting (lifetime − busy).
+static WORKER_IDLE_NS: obs::LazyHist = obs::LazyHist::new("time.pool.worker.idle.ns");
 
 /// Number of worker threads a parallel call will use: the `QNLG_THREADS`
 /// environment variable if set to a positive integer, otherwise
-/// [`std::thread::available_parallelism`].
+/// [`std::thread::available_parallelism`]. A set-but-invalid value (not a
+/// number, or zero) is reported once to stderr and then ignored.
 pub fn thread_count() -> usize {
     if let Ok(v) = std::env::var("QNLG_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
+        match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => {
+                static WARNED: Once = Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: QNLG_THREADS={v:?} is not a positive integer; \
+                         falling back to available parallelism"
+                    );
+                });
             }
         }
     }
@@ -44,6 +68,7 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let len = items.len();
+    ITEMS_EXECUTED.add(len as u64);
     if threads <= 1 || len <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
@@ -68,11 +93,19 @@ where
             let collected = &collected;
             let f = &f;
             scope.spawn(move || {
+                WORKERS_SPAWNED.inc();
+                // Clocks are read only while obs collection is on; with it
+                // off the accounting is one relaxed bool load per chunk.
+                let timing = obs::enabled();
+                let spawned = timing.then(Instant::now);
+                let mut busy = Duration::ZERO;
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     // Own queue first (front: preserves cache-friendly
                     // contiguity), then steal from the back of others'.
+                    let mut stolen = false;
                     let next = queues[w].lock().expect("queue lock").pop_front().or_else(|| {
+                        stolen = true;
                         (1..workers).find_map(|d| {
                             queues[(w + d) % workers]
                                 .lock()
@@ -81,9 +114,25 @@ where
                         })
                     });
                     let Some((start, end)) = next else { break };
+                    if stolen {
+                        CHUNKS_STOLEN.inc();
+                    } else {
+                        CHUNKS_OWN.inc();
+                    }
+                    CHUNK_ITEMS.record_shard(w, (end - start) as u64);
+                    let t0 = timing.then(Instant::now);
                     for (i, item) in items.iter().enumerate().take(end).skip(start) {
                         local.push((i, f(i, item)));
                     }
+                    if let Some(t0) = t0 {
+                        busy += t0.elapsed();
+                    }
+                }
+                if let Some(spawned) = spawned {
+                    let total = spawned.elapsed();
+                    let ns = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+                    WORKER_BUSY_NS.record_shard(w, ns(busy));
+                    WORKER_IDLE_NS.record_shard(w, ns(total.saturating_sub(busy)));
                 }
                 collected.lock().expect("result lock").extend(local);
             });
@@ -149,6 +198,20 @@ mod tests {
     fn more_workers_than_items_is_fine() {
         let out = par_map_threads(32, &[1, 2, 3], |_, &x| x * x);
         assert_eq!(out, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn pool_metrics_record_when_enabled() {
+        obs::set_enabled(true);
+        let items: Vec<u64> = (0..100).collect();
+        let _ = par_map_threads(4, &items, |_, &x| x + 1);
+        obs::set_enabled(false);
+        let snap = obs::snapshot();
+        assert!(snap.counter("pool.items.executed").unwrap_or(0) >= 100);
+        let chunks = snap.counter("pool.chunks.own").unwrap_or(0)
+            + snap.counter("pool.chunks.stolen").unwrap_or(0);
+        assert!(chunks >= 1, "no chunks accounted");
+        assert!(snap.hist("pool.chunk.items").is_some_and(|h| h.count >= 1));
     }
 
     #[test]
