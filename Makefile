@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test clippy bench-sweep repro-quick
+.PHONY: ci build test clippy bench-compile bench-sweep bench-xor repro-quick
 
-ci: build test clippy repro-quick
+ci: build test clippy bench-compile repro-quick
 
 build:
 	$(CARGO) build --release
@@ -16,10 +16,20 @@ test:
 clippy:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
 
+# All bench harnesses must keep building even when not run.
+bench-compile:
+	$(CARGO) bench --no-run
+
 # Spawn-per-point vs pooled executor + CorrelationBox sampling kernels
 # + obs on/off overhead.
 bench-sweep:
 	$(CARGO) bench -p qnlg-bench --bench sweep
+
+# XOR solver-pipeline ablation: naive/Gray classical, cold/warm solver,
+# and the end-to-end fig3-quick seed-stack vs cached fast-stack numbers
+# recorded in DESIGN.md §5.
+bench-xor:
+	$(CARGO) bench -p qnlg-bench --bench xor_value
 
 # CI-budget reproduction of every experiment, with schema-validated
 # JSON-lines artifacts in artifacts/. Fails if any acceptance check fails.

@@ -45,7 +45,9 @@ pub fn run(quick: bool) -> Report {
     let (classical, independent, quantum, flipped, solver_quantum, ghz_quantum) =
         (mc[0], mc[1], mc[2], mc[3], mc[4], mc[5]);
 
-    let solver_classical = xor.classical_value();
+    let solver_classical = xor
+        .classical_value()
+        .expect("CHSH is far below the enumeration limit");
     let solver_pgd = (1.0 + xor.quantum_bias_pgd(if quick { 150 } else { 500 })) / 2.0;
 
     let ghz_classical = multiparty::classical_optimum();

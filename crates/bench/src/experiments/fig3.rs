@@ -4,12 +4,24 @@
 //!
 //! The paper computed this with the Toqito Python package; here the
 //! quantum values come from this workspace's own solver
-//! (`games::xor::quantum_solution`). E1b (the caption's claim that the
-//! advantage probability grows with vertex count) is `run_vertices`.
+//! (`games::xor::quantum_solution_with`), routed through the
+//! canonicalizing value cache (`games::cache`): graphs for every sweep
+//! point are drawn first from per-point deterministic streams, then the
+//! flattened game list is solved by one `solve_batch` fan-out. Many
+//! labelings coincide up to vertex relabeling/global sign, so the cache
+//! collapses them to one solve each (`games.xor.cache.hits` in the obs
+//! snapshot counts the wins). Values are a pure function of each game's
+//! canonical form, so reports are byte-identical at any thread count and
+//! with the cache disabled (`QNLG_XOR_CACHE=0`). E1b (the caption's claim
+//! that the advantage probability grows with vertex count) is
+//! `run_vertices`, extended beyond the paper's 5 vertices to n = 8 —
+//! the larger families the cache + solver wins pay for.
 
 use crate::report::Report;
 use crate::table::{f4, Table};
-use games::graph::advantage_count;
+use games::cache;
+use games::graph::sample_games;
+use games::{SolverOpts, XorGame};
 use obs::json::Json;
 use qmath::stats::wilson;
 use rand::rngs::StdRng;
@@ -19,11 +31,57 @@ use rand::SeedableRng;
 /// far below real advantages (≥ 1e-2 in this family).
 const TOL: f64 = 1e-4;
 
+/// Draws per-point graph batches from per-point deterministic streams,
+/// solves the flattened list through the value cache on `threads`
+/// workers, and returns each point's advantage count.
+///
+/// Per-point seeds depend only on `(seed_domain, point index)` and game
+/// values only on canonical forms, so counts are invariant to worker
+/// count, batch order, and cache state.
+fn advantage_counts<P: Sync>(
+    threads: usize,
+    seed_domain: u64,
+    points: &[P],
+    samples: usize,
+    games_of: impl Fn(&P, &mut StdRng) -> Vec<XorGame>,
+) -> Vec<usize> {
+    let games: Vec<XorGame> = points
+        .iter()
+        .enumerate()
+        .flat_map(|(i, p)| {
+            let mut rng = StdRng::seed_from_u64(crate::point_seed(seed_domain, i as u64, 0));
+            games_of(p, &mut rng)
+        })
+        .collect();
+    let values = cache::solve_batch_threads(threads, &games, &SolverOpts::default());
+    values
+        .chunks(samples)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|r| {
+                    r.as_ref()
+                        .expect("graph games stay below the enumeration limit")
+                })
+                .filter(|v| v.has_advantage(TOL))
+                .count()
+        })
+        .collect()
+}
+
 /// Figure 3: 5-vertex sweep over the edge-exclusivity probability.
 pub fn run(quick: bool) -> Report {
+    run_with_threads(runtime::thread_count(), quick)
+}
+
+/// [`run`] with an explicit worker count (determinism tests).
+pub fn run_with_threads(threads: usize, quick: bool) -> Report {
     let samples = if quick { 40 } else { 400 };
     let ps: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
-    let results = parallel_sweep_counts(&ps, 5, samples);
+    let counts = advantage_counts(threads, 10, &ps, samples, |&p, rng| {
+        sample_games(5, p, samples, rng)
+    });
+    let results: Vec<(f64, usize)> = ps.iter().copied().zip(counts).collect();
 
     let mut report = Report::new("fig3", 10);
     let mut t = Table::new(vec!["P(edge exclusive)", "P(quantum advantage)"]);
@@ -72,12 +130,17 @@ pub fn run(quick: bool) -> Report {
 /// Figure 3 caption claim: advantage probability increases with the
 /// number of vertices (at p_exclusive = 0.5).
 pub fn run_vertices(quick: bool) -> Report {
+    run_vertices_with_threads(runtime::thread_count(), quick)
+}
+
+/// [`run_vertices`] with an explicit worker count (determinism tests).
+pub fn run_vertices_with_threads(threads: usize, quick: bool) -> Report {
     let samples = if quick { 30 } else { 250 };
-    let ns = [3usize, 4, 5, 6, 7];
-    let results = runtime::par_map(&ns, |i, &n| {
-        let mut rng = StdRng::seed_from_u64(crate::point_seed(11, i as u64, 0));
-        (n, advantage_count(n, 0.5, samples, TOL, &mut rng))
+    let ns = [3usize, 4, 5, 6, 7, 8];
+    let counts = advantage_counts(threads, 11, &ns, samples, |&n, rng| {
+        sample_games(n, 0.5, samples, rng)
     });
+    let results: Vec<(usize, usize)> = ns.iter().copied().zip(counts).collect();
 
     let mut report = Report::new("fig3-vertices", 11);
     let mut t = Table::new(vec!["vertices", "P(quantum advantage)"]);
@@ -102,6 +165,7 @@ pub fn run_vertices(quick: bool) -> Report {
     };
     report.scalar("advantage_rate.n3", rate(3));
     report.scalar("advantage_rate.n7", rate(7));
+    report.scalar("advantage_rate.n8", rate(8));
 
     // Paper calibration: P(adv) ≈ 0.54 at n=3 and ≈ 0.85 at n=7, so the
     // growth across the range must be clear even at quick budgets.
@@ -124,25 +188,6 @@ pub fn run_vertices(quick: bool) -> Report {
     report
 }
 
-/// Parallel sweep over exclusivity probabilities, returning raw counts.
-/// Seeds are a function of the point index, so the output is identical
-/// at any worker count.
-fn parallel_sweep_counts(ps: &[f64], n_vertices: usize, samples: usize) -> Vec<(f64, usize)> {
-    runtime::par_map(ps, |i, &p| {
-        let mut rng = StdRng::seed_from_u64(crate::point_seed(10, i as u64, 0));
-        (p, advantage_count(n_vertices, p, samples, TOL, &mut rng))
-    })
-}
-
-/// Fractional version used by the shape tests.
-#[cfg(test)]
-fn parallel_sweep(ps: &[f64], n_vertices: usize, samples: usize) -> Vec<(f64, f64)> {
-    parallel_sweep_counts(ps, n_vertices, samples)
-        .into_iter()
-        .map(|(p, c)| (p, c as f64 / samples as f64))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,11 +197,15 @@ mod tests {
         // p = 0 must give zero advantage probability; the mid-range must
         // be clearly positive ("most graphs ... exhibit a quantum
         // advantage").
-        let results = parallel_sweep(&[0.0, 0.4, 0.6], 5, 25);
-        assert_eq!(results[0].1, 0.0, "all-affinity graphs are trivial");
+        let ps = [0.0, 0.4, 0.6];
+        let samples = 25;
+        let counts = advantage_counts(runtime::thread_count(), 10, &ps, samples, |&p, rng| {
+            sample_games(5, p, samples, rng)
+        });
+        assert_eq!(counts[0], 0, "all-affinity graphs are trivial");
         assert!(
-            results[1].1 > 0.5 || results[2].1 > 0.5,
-            "mid-range advantage too rare: {results:?}"
+            counts[1] * 2 > samples || counts[2] * 2 > samples,
+            "mid-range advantage too rare: {counts:?}"
         );
     }
 

@@ -62,6 +62,32 @@ fn fig4_quick_report_is_identical_at_any_thread_count() {
     }
 }
 
+/// End-to-end: the rendered E1 (Figure 3) quick report is identical no
+/// matter how many workers computed it. This is the hard exercise for
+/// the canonicalizing value cache: different worker counts populate the
+/// shared cache in different orders, and cached values must still be
+/// identical because they are a pure function of each game's canonical
+/// form (solver RNG derived from the canonical key).
+#[test]
+fn fig3_quick_report_is_identical_at_any_thread_count() {
+    let sequential = qnlg_bench::experiments::fig3::run_with_threads(1, true);
+    let reference_text = format!("{sequential}");
+    let reference_json = canonical_json(&sequential);
+    for threads in [2, runtime::thread_count()] {
+        let report = qnlg_bench::experiments::fig3::run_with_threads(threads, true);
+        assert_eq!(
+            format!("{report}"),
+            reference_text,
+            "{threads} workers changed the text report"
+        );
+        assert_eq!(
+            canonical_json(&report),
+            reference_json,
+            "{threads} workers changed the JSON artifact"
+        );
+    }
+}
+
 /// The JSON artifact line for fig4 must validate against the schema and
 /// carry the fields the acceptance criteria promise: seed, thread count,
 /// per-point SimResult fields, and Wilson intervals.

@@ -1,0 +1,58 @@
+//! Error type for game-value computations.
+
+use std::fmt;
+
+/// Errors produced by game-value solvers.
+///
+/// The solvers are total over the game sizes the paper studies (≤ ~8
+/// inputs per player); errors signal requests that are structurally
+/// infeasible, never internal numerical surprises.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GameError {
+    /// The exact classical enumeration was asked for a game too large to
+    /// brute-force (2^{n_a} sign patterns).
+    TooLarge {
+        /// Number of Alice inputs in the offending game.
+        n_a: usize,
+        /// The enumeration limit the solver enforces.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GameError::TooLarge { n_a, limit } => write!(
+                f,
+                "classical enumeration infeasible: n_a = {n_a} exceeds the 2^n limit of {limit} inputs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_size() {
+        let e = GameError::TooLarge { n_a: 30, limit: 24 };
+        let s = e.to_string();
+        assert!(s.contains("30"));
+        assert!(s.contains("24"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            GameError::TooLarge { n_a: 30, limit: 24 },
+            GameError::TooLarge { n_a: 30, limit: 24 }
+        );
+        assert_ne!(
+            GameError::TooLarge { n_a: 30, limit: 24 },
+            GameError::TooLarge { n_a: 31, limit: 24 }
+        );
+    }
+}

@@ -24,8 +24,15 @@
 //!   probability is 1 vs classical 0.75.
 //! - [`graph`]: random edge-labeled affinity graphs and their conversion
 //!   to XOR games (the Figure 3 experiment).
+//! - [`cache`]: canonicalizing sharded value cache — sweeps over random
+//!   graph games skip solves that are identical up to vertex relabeling
+//!   and global sign ([`cache::solve_batch`]).
+//! - [`error`]: typed errors ([`GameError`]) for structurally infeasible
+//!   requests (e.g. classical enumeration beyond 2^24 patterns).
 
+pub mod cache;
 pub mod chsh;
+pub mod error;
 pub mod family;
 pub mod correlation;
 pub mod game;
@@ -33,11 +40,13 @@ pub mod graph;
 pub mod multiparty;
 pub mod xor;
 
+pub use cache::{GameValues, ValueCache};
 pub use chsh::{ChshGame, ChshVariant};
 pub use correlation::CorrelationBox;
+pub use error::GameError;
 pub use game::{PairStrategy, TwoPlayerGame};
 pub use graph::AffinityGraph;
-pub use xor::{QuantumSolution, XorGame};
+pub use xor::{QuantumSolution, SolverOpts, XorGame};
 
 /// The classical optimum of the CHSH game.
 pub const CHSH_CLASSICAL_VALUE: f64 = 0.75;

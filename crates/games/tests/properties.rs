@@ -30,7 +30,7 @@ proptest! {
         let game = build_game(&weights, &targets, 3);
         let mut rng = StdRng::seed_from_u64(seed);
         let q = game.quantum_solution(6, &mut rng).value;
-        let c = game.classical_value();
+        let c = game.classical_value().unwrap();
         prop_assert!(q >= c - 1e-6, "quantum {} < classical {}", q, c);
     }
 
@@ -43,7 +43,7 @@ proptest! {
         seed in 0u64..512)
     {
         let game = build_game(&weights, &targets, 3);
-        let c = game.classical_value();
+        let c = game.classical_value().unwrap();
         prop_assert!((0.5..=1.0 + 1e-9).contains(&c), "classical {}", c);
         let mut rng = StdRng::seed_from_u64(seed);
         let q = game.quantum_value(&mut rng);
@@ -90,10 +90,65 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = AffinityGraph::random(4, 0.3, &mut rng);
         let game = g.to_xor_game(true);
-        let c = game.classical_value();
+        let c = game.classical_value().unwrap();
         if (c - 1.0).abs() < 1e-12 {
-            prop_assert!(!game.has_quantum_advantage(1e-4, &mut rng));
+            prop_assert!(!game.has_quantum_advantage(1e-4, &mut rng).unwrap());
         }
+    }
+
+    /// Gray-code classical enumeration agrees with the naive
+    /// full-rescan oracle on random games up to n = 12 inputs per side.
+    /// (Incremental column-sum updates accumulate rounding over 2^n
+    /// steps; 1e-9 absolute leaves ~4 orders of magnitude of headroom.)
+    #[test]
+    fn gray_code_matches_naive_oracle(
+        n in 2usize..13,
+        seed in 0u64..1024)
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let mut weights = vec![0.0; n * n];
+        for w in weights.iter_mut() {
+            *w = rng.gen::<f64>() + 0.01;
+        }
+        let targets: Vec<bool> = (0..n * n).map(|_| rng.gen()).collect();
+        let game = build_game(&weights, &targets, n);
+        let gray = game.classical_bias().unwrap();
+        let naive = game.classical_bias_naive().unwrap();
+        prop_assert!(
+            (gray - naive).abs() < 1e-9,
+            "n = {}: gray {} vs naive {}", n, gray, naive
+        );
+    }
+
+    /// Canonical cache keys are invariant under vertex relabelings of
+    /// the same affinity graph (the cache's hit-rate guarantee for the
+    /// Figure 3 sweeps).
+    #[test]
+    fn canonical_key_relabeling_invariance(
+        n in 3usize..8,
+        seed in 0u64..1024)
+    {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = AffinityGraph::random(n, 0.5, &mut rng);
+        // Fisher-Yates permutation of the vertices.
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..i + 1);
+            perm.swap(i, j);
+        }
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                edges.push((perm[i], perm[j], g.is_exclusive(i, j)));
+            }
+        }
+        let relabeled = AffinityGraph::from_edges(n, &edges);
+        prop_assert_eq!(
+            games::cache::canonical_key(&g.to_xor_game(true)),
+            games::cache::canonical_key(&relabeled.to_xor_game(true))
+        );
     }
 
     /// The empirical win rate of the solved strategy matches the solved

@@ -83,6 +83,53 @@ pub fn cnormalize(a: &mut [C64]) -> bool {
     true
 }
 
+/// Dense mat-vec `out = M·x` over a row-major flat matrix (`rows × cols`).
+///
+/// The flat-buffer XOR-game solver and its spectral warm start run their
+/// hot loops over `&[f64]` buffers; this kernel (and [`gemv_t`]) keeps
+/// those loops allocation-free.
+///
+/// # Panics
+/// Panics if `m.len() != rows * cols`, `x.len() != cols`, or
+/// `out.len() != rows`.
+pub fn gemv(m: &[f64], rows: usize, cols: usize, x: &[f64], out: &mut [f64]) {
+    assert_eq!(m.len(), rows * cols, "gemv: matrix size mismatch");
+    assert_eq!(x.len(), cols, "gemv: input length mismatch");
+    assert_eq!(out.len(), rows, "gemv: output length mismatch");
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = dot(&m[r * cols..(r + 1) * cols], x);
+    }
+}
+
+/// Dense transposed mat-vec `out = Mᵀ·x` over a row-major flat matrix
+/// (`rows × cols`), accumulated row-by-row so memory access stays
+/// sequential in `m`.
+///
+/// # Panics
+/// Panics if `m.len() != rows * cols`, `x.len() != rows`, or
+/// `out.len() != cols`.
+pub fn gemv_t(m: &[f64], rows: usize, cols: usize, x: &[f64], out: &mut [f64]) {
+    assert_eq!(m.len(), rows * cols, "gemv_t: matrix size mismatch");
+    assert_eq!(x.len(), rows, "gemv_t: input length mismatch");
+    assert_eq!(out.len(), cols, "gemv_t: output length mismatch");
+    out.fill(0.0);
+    for (r, &xr) in x.iter().enumerate() {
+        axpy(xr, &m[r * cols..(r + 1) * cols], out);
+    }
+}
+
+/// `out = alpha · x` (overwrite, no accumulation) — the first term of a
+/// weighted-sum loop, saving the `fill(0.0)` + `axpy` pair.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn scale_into(alpha: f64, x: &[f64], out: &mut [f64]) {
+    assert_eq!(x.len(), out.len(), "scale_into: length mismatch");
+    for (o, xi) in out.iter_mut().zip(x) {
+        *o = alpha * xi;
+    }
+}
+
 /// Maximum absolute difference between two equal-length vectors.
 ///
 /// # Panics
@@ -138,6 +185,30 @@ mod tests {
         let mut y = vec![1.0, 1.0];
         axpy(2.0, &[1.0, -1.0], &mut y);
         assert_eq!(y, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn gemv_matches_manual() {
+        // M = [[1, 2], [3, 4], [5, 6]] (3×2), x = [1, -1].
+        let m = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut out = [0.0; 3];
+        gemv(&m, 3, 2, &[1.0, -1.0], &mut out);
+        assert_eq!(out, [-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn gemv_t_matches_transpose() {
+        let m = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut out = [0.0; 2];
+        gemv_t(&m, 3, 2, &[1.0, 1.0, 1.0], &mut out);
+        assert_eq!(out, [9.0, 12.0]);
+    }
+
+    #[test]
+    fn scale_into_overwrites() {
+        let mut out = [7.0, 7.0];
+        scale_into(2.0, &[1.0, -3.0], &mut out);
+        assert_eq!(out, [2.0, -6.0]);
     }
 
     #[test]
