@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test clippy bench-compile bench-sweep bench-xor repro-quick
+.PHONY: ci build test clippy bench-compile bench-sweep bench-xor repro-quick test-stat
 
 ci: build test clippy bench-compile repro-quick
 
@@ -30,6 +30,13 @@ bench-sweep:
 # recorded in DESIGN.md §5.
 bench-xor:
 	$(CARGO) bench -p qnlg-bench --bench xor_value
+
+# Statistical acceptance tests with their sample-size/confidence
+# accounting printed (every stochastic assertion states its n and
+# confidence via qmath::assert_prob_in! — no bare magic tolerances).
+test-stat:
+	$(CARGO) test -p games --test stat_acceptance -- --nocapture
+	$(CARGO) test -p qnet --test stat_acceptance -- --nocapture
 
 # CI-budget reproduction of every experiment, with schema-validated
 # JSON-lines artifacts in artifacts/. Fails if any acceptance check fails.

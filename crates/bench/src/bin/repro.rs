@@ -26,6 +26,7 @@
 //! | fig4             | Figure 4: queue length vs load (E2)              |
 //! | fig4-scaling     | E2b: N-independence at fixed N/M                 |
 //! | fig4-disciplines | E2c: footnote-2 robustness                       |
+//! | fig4-faults      | E-faults: fault injection + graceful degradation |
 //! | ecmp             | §4.2 reduction + conjecture search (E4)          |
 //! | timing           | Figure 2: decision latency (E5)                  |
 //! | noise            | §3 error margins: visibility/storage (E6)        |

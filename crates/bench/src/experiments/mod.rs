@@ -3,6 +3,7 @@
 
 pub mod chsh_exp;
 pub mod ecmp_exp;
+pub mod faults_exp;
 pub mod fig3;
 pub mod fig4;
 pub mod hybrid_exp;
@@ -18,6 +19,7 @@ pub const ALL: &[&str] = &[
     "fig4",
     "fig4-scaling",
     "fig4-disciplines",
+    "fig4-faults",
     "ecmp",
     "timing",
     "noise",
@@ -34,6 +36,7 @@ pub fn run(name: &str, quick: bool) -> Option<crate::Report> {
         "fig4" => fig4::run(quick),
         "fig4-scaling" => fig4::run_scaling(quick),
         "fig4-disciplines" => fig4::run_disciplines(quick),
+        "fig4-faults" => faults_exp::run(quick),
         "ecmp" => ecmp_exp::run(quick),
         "timing" => timing_exp::run(quick),
         "noise" => noise_exp::run(quick),

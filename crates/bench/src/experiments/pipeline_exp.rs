@@ -74,6 +74,7 @@ pub fn run(quick: bool) -> Report {
             memory_lifetime: Duration::from_micros(100),
             max_age: Duration::from_micros(80),
             consume_policy: ConsumePolicy::FreshestFirst,
+            faults: qnet::FaultPlan::none(),
         };
         let mut strat = PipelinePairedQuantum::new(
             config.n_balancers,

@@ -88,6 +88,50 @@ fn fig3_quick_report_is_identical_at_any_thread_count() {
     }
 }
 
+/// Chaos determinism: the fault-injection experiment — fault-window
+/// edges interleaved with emissions, clamp evictions, governor
+/// transitions and all — must be byte-identical at 1 and 4 workers, and
+/// independent of whether the obs layer is recording. Obs toggling
+/// happens inside this one test (the registry is process-global, but
+/// the counters only feed the artifact's pruned `obs` section, which
+/// `canonical_json` pins to `None` — so no other test here can observe
+/// the toggle).
+#[test]
+fn fig4_faults_chaos_run_is_deterministic() {
+    let sequential = qnlg_bench::experiments::faults_exp::run_with_threads(1, true);
+    let reference_text = format!("{sequential}");
+    let reference_json = canonical_json(&sequential);
+    for threads in [2, 4] {
+        let report = qnlg_bench::experiments::faults_exp::run_with_threads(threads, true);
+        assert_eq!(
+            format!("{report}"),
+            reference_text,
+            "{threads} workers changed the text report"
+        );
+        assert_eq!(
+            canonical_json(&report),
+            reference_json,
+            "{threads} workers changed the JSON artifact"
+        );
+    }
+    // Metrics must observe, never perturb: an instrumented run is
+    // byte-identical to the unobserved reference.
+    obs::reset();
+    obs::set_enabled(true);
+    let observed = qnlg_bench::experiments::faults_exp::run_with_threads(4, true);
+    let snap = obs::snapshot();
+    obs::set_enabled(false);
+    assert_eq!(
+        canonical_json(&observed),
+        reference_json,
+        "enabling obs changed the report"
+    );
+    assert!(
+        snap.counter("qnlg.fallback.transitions").unwrap_or(0) > 0,
+        "instrumented chaos run must record fallback transitions"
+    );
+}
+
 /// The JSON artifact line for fig4 must validate against the schema and
 /// carry the fields the acceptance criteria promise: seed, thread count,
 /// per-point SimResult fields, and Wilson intervals.

@@ -1,0 +1,89 @@
+//! Statistical acceptance tests for the CHSH win rate.
+//!
+//! Every assertion here goes through `qmath::assert_prob_in!`, which
+//! checks the *theoretical* win probability against the Wilson interval
+//! of the observed counts at an explicit confidence level — the sample
+//! size and confidence are part of the assertion, not folded into a
+//! hand-tuned tolerance. Run `make test-stat` to see the accounting.
+
+use games::chsh::{ChshGame, ChshVariant, QuantumChshStrategy};
+use games::game::{PairStrategy, TwoPlayerGame};
+use qmath::assert_prob_in;
+use qsim::SharedPair;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Confidence for all acceptance intervals in this file. At n = 50 000
+/// the 99.9% Wilson interval around 0.8536 is ≈ ±0.0052 — tight enough
+/// to catch an angle or sign error (worth ≥ 0.02), loose enough that a
+/// correct implementation passes for any reasonable seed.
+const CONF: f64 = 0.999;
+const ROUNDS: u64 = 50_000;
+
+/// Plays `ROUNDS` rounds of `game` with uniform inputs and returns the
+/// win count.
+fn wins<S: PairStrategy>(game: &ChshGame, strategy: &mut S, rng: &mut StdRng) -> u64 {
+    let mut wins = 0u64;
+    for _ in 0..ROUNDS {
+        let (x, y) = (usize::from(rng.gen::<bool>()), usize::from(rng.gen::<bool>()));
+        let (a, b) = strategy.play(x, y, rng);
+        wins += u64::from(game.wins(x, y, a, b));
+    }
+    wins
+}
+
+#[test]
+fn ideal_chsh_hits_the_tsirelson_win_rate() {
+    // cos²(π/8) = 1/2 + √2/4 ≈ 0.85355.
+    let mut rng = StdRng::seed_from_u64(100);
+    let game = ChshGame::standard();
+    let w = wins(&game, &mut QuantumChshStrategy::ideal(), &mut rng);
+    assert_prob_in!(w, ROUNDS, games::chsh_quantum_value(), conf = CONF);
+}
+
+#[test]
+fn flipped_chsh_hits_the_same_value() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let game = ChshGame::flipped();
+    let w = wins(&game, &mut QuantumChshStrategy::ideal_flipped(), &mut rng);
+    assert_prob_in!(w, ROUNDS, games::chsh_quantum_value(), conf = CONF);
+}
+
+#[test]
+fn depolarized_pairs_hit_the_werner_closed_form() {
+    // A Bell pair depolarized to visibility v (qsim::noise::werner) wins
+    // CHSH with probability exactly 1/2 + v·√2/4.
+    for (lane, v) in [0.9f64, 0.6].into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(200 + lane as u64);
+        let game = ChshGame::standard();
+        let rho = qsim::noise::werner(v).expect("valid visibility");
+        let mut strategy = QuantumChshStrategy::with_source(
+            move || SharedPair::from_density(rho.clone()).expect("valid Werner state"),
+            ChshVariant::Standard,
+        );
+        let w = wins(&game, &mut strategy, &mut rng);
+        let expected = 0.5 + v * std::f64::consts::SQRT_2 / 4.0;
+        assert_prob_in!(w, ROUNDS, expected, conf = CONF);
+    }
+}
+
+#[test]
+fn sub_threshold_visibility_is_significantly_below_classical() {
+    // v = 0.5 < 1/√2: the upper Wilson bound must sit below 0.75, i.e.
+    // the degradation is statistically significant, not just a smaller
+    // point estimate.
+    let mut rng = StdRng::seed_from_u64(300);
+    let game = ChshGame::standard();
+    let v = 0.5;
+    let mut strategy = QuantumChshStrategy::with_source(
+        move || SharedPair::werner(v).expect("valid visibility"),
+        ChshVariant::Standard,
+    );
+    let w = wins(&game, &mut strategy, &mut rng);
+    let check = assert_prob_in!(w, ROUNDS, 0.5 + v * std::f64::consts::SQRT_2 / 4.0, conf = CONF);
+    assert!(
+        check.hi < 0.75,
+        "upper bound {:.4} must fall below the classical optimum (n = {ROUNDS}, conf = {CONF})",
+        check.hi
+    );
+}

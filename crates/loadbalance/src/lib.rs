@@ -25,7 +25,12 @@
 //!   closed-form sampling modes, plus finite pair availability).
 //! - [`sim`]: the timestep loop of Figure 4.
 //! - [`metrics`]: queue-length and waiting-time statistics.
+//! - [`degrade`]: graceful degradation — a hysteretic governor that
+//!   watches pair delivery and falls back from quantum CHSH to classical
+//!   coordination (and recovers) as the entanglement plane faults and
+//!   heals.
 
+pub mod degrade;
 pub mod metrics;
 pub mod pipeline;
 pub mod server;
@@ -33,6 +38,7 @@ pub mod sim;
 pub mod strategy;
 pub mod task;
 
+pub use degrade::{CoordinationMode, Degrading, FallbackGovernor, HysteresisConfig};
 pub use metrics::SimResult;
 pub use server::{Discipline, Server};
 pub use pipeline::PipelinePairedQuantum;

@@ -98,8 +98,40 @@ impl PipelinePairedQuantum {
             total.expired += s.expired;
             total.consumed += s.consumed;
             total.misses += s.misses;
+            total.lost_outage += s.lost_outage;
+            total.suppressed += s.suppressed;
+            total.clamp_evicted += s.clamp_evicted;
         }
         total
+    }
+
+    /// Number of balancer pairs (= distribution pipelines).
+    pub fn n_pairs(&self) -> usize {
+        self.distributors.len()
+    }
+
+    /// Total fault-window edges replayed across all pipelines.
+    pub fn fault_transitions(&self) -> u64 {
+        self.distributors.iter().map(|d| d.fault_transitions()).sum()
+    }
+
+    /// Advances every pipeline one timestep and polls each for a pair,
+    /// without coordinating any tasks. Returns `(delivered, polled)`.
+    ///
+    /// This is the degradation probe: while a
+    /// [`crate::degrade::FallbackGovernor`] holds the strategy in a
+    /// classical mode, the wrapper keeps calling this so the hardware
+    /// keeps running (and consuming pairs at the same cadence), letting
+    /// the governor observe delivery recover after a fault clears.
+    pub fn poll_delivery(&mut self, rng: &mut dyn rand::RngCore) -> (u64, u64) {
+        self.now += self.timestep;
+        let mut delivered = 0u64;
+        for d in &mut self.distributors {
+            if d.take_pair(self.now, rng).is_some() {
+                delivered += 1;
+            }
+        }
+        (delivered, self.distributors.len() as u64)
     }
 }
 
@@ -174,6 +206,7 @@ mod tests {
             memory_lifetime: Duration::from_micros(100),
             max_age: Duration::from_micros(80),
             consume_policy: ConsumePolicy::FreshestFirst,
+            faults: qnet::FaultPlan::none(),
         }
     }
 

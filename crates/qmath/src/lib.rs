@@ -11,6 +11,10 @@
 //! - [`psd`]: projection onto the positive-semidefinite cone and onto the
 //!   elliptope (unit-diagonal PSD matrices), used by the XOR-game SDP solver.
 //! - [`vecops`]: free functions over `&[f64]` vectors (dot, norm, axpy, ...).
+//! - [`stattest`]: statistical acceptance-test helpers — Wilson intervals
+//!   at arbitrary confidence, Hoeffding bounds, and the
+//!   [`assert_prob_in!`] macro, so stochastic tests state their sample
+//!   size and confidence instead of magic tolerances.
 //!
 //! Everything here is written for *small* dense problems (dimension up to a
 //! few hundred): quantum states on ≤ 20 qubits and Gram matrices of
@@ -27,6 +31,7 @@ pub mod error;
 pub mod psd;
 pub mod rmatrix;
 pub mod stats;
+pub mod stattest;
 pub mod vecops;
 
 pub use cholesky::{cholesky, is_positive_semidefinite};
@@ -37,6 +42,7 @@ pub use error::MathError;
 pub use psd::{project_elliptope, project_psd};
 pub use rmatrix::RMatrix;
 pub use stats::{wilson, Proportion};
+pub use stattest::{hoeffding_epsilon, hoeffding_samples, wilson_at, z_value, BoundCheck};
 
 /// Default numerical tolerance used across the workspace for comparisons
 /// of floating-point quantities that should be exact in infinite precision

@@ -16,6 +16,7 @@
 //!    per-half dephasing accumulated while buffered.
 
 use crate::epr::EprSource;
+use crate::faults::{FaultClock, FaultPlan};
 use crate::link::FiberLink;
 use crate::qnic::Qnic;
 use crate::time::SimTime;
@@ -31,6 +32,10 @@ static EPR_LOST_FIBER: obs::LazyCounter = obs::LazyCounter::new("qnet.epr.lost_f
 static EPR_CONSUMED: obs::LazyCounter = obs::LazyCounter::new("qnet.epr.consumed");
 /// Consumption attempts that found no buffered pair.
 static EPR_MISSES: obs::LazyCounter = obs::LazyCounter::new("qnet.epr.misses");
+/// Pairs lost because a link was down (subset of fiber losses).
+static EPR_LOST_OUTAGE: obs::LazyCounter = obs::LazyCounter::new("qnet.epr.lost_outage");
+/// Emissions suppressed by a source brownout (Poisson thinning).
+static EPR_SUPPRESSED: obs::LazyCounter = obs::LazyCounter::new("qnet.epr.brownout_suppressed");
 
 /// Which buffered pair a consumption request takes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,6 +67,8 @@ pub struct DistributorConfig {
     pub max_age: Duration,
     /// Which buffered pair to consume.
     pub consume_policy: ConsumePolicy,
+    /// Scheduled transient faults ([`FaultPlan::none`] for nominal runs).
+    pub faults: FaultPlan,
 }
 
 impl DistributorConfig {
@@ -76,6 +83,7 @@ impl DistributorConfig {
             memory_lifetime: Duration::from_micros(100),
             max_age: Duration::from_micros(160),
             consume_policy: ConsumePolicy::FreshestFirst,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -95,6 +103,13 @@ pub struct DistributorStats {
     pub consumed: u64,
     /// Consumption attempts that found no buffered pair.
     pub misses: u64,
+    /// Pairs lost because a link outage was active (subset of
+    /// `lost_in_fiber`).
+    pub lost_outage: u64,
+    /// Emissions suppressed by a source brownout.
+    pub suppressed: u64,
+    /// Qubits evicted when a fault clamped QNIC capacity.
+    pub clamp_evicted: u64,
 }
 
 impl DistributorStats {
@@ -113,6 +128,7 @@ pub struct EntanglementDistributor {
     config: DistributorConfig,
     nic_a: Qnic,
     nic_b: Qnic,
+    faults: FaultClock,
     next_pair_id: u64,
     next_emission: SimTime,
     clock: SimTime,
@@ -127,6 +143,7 @@ impl EntanglementDistributor {
         EntanglementDistributor {
             nic_a: nic(&config),
             nic_b: nic(&config),
+            faults: FaultClock::new(&config.faults),
             config,
             next_pair_id: 0,
             next_emission,
@@ -140,7 +157,28 @@ impl EntanglementDistributor {
         let mut s = self.stats;
         s.dropped_full = self.nic_a.dropped_full + self.nic_b.dropped_full;
         s.expired = self.nic_a.expired + self.nic_b.expired;
+        s.clamp_evicted = self.nic_a.clamp_evicted + self.nic_b.clamp_evicted;
         s
+    }
+
+    /// Fault on/off edges processed so far.
+    pub fn fault_transitions(&self) -> u64 {
+        self.faults.transitions()
+    }
+
+    /// Pushes the current fault state into the NICs: capacity clamps
+    /// (evicting over-quota qubits, whose partner halves are pruned) and
+    /// lifetime scaling.
+    fn apply_fault_state(&mut self) {
+        let state = self.faults.state();
+        for ev in self.nic_a.set_capacity_clamp(state.capacity_clamp) {
+            self.nic_b.take_pair_id(ev.pair_id);
+        }
+        for ev in self.nic_b.set_capacity_clamp(state.capacity_clamp) {
+            self.nic_a.take_pair_id(ev.pair_id);
+        }
+        self.nic_a.set_lifetime_scale(state.lifetime_factor);
+        self.nic_b.set_lifetime_scale(state.lifetime_factor);
     }
 
     /// Number of pairs currently buffered (present at both endpoints).
@@ -148,33 +186,57 @@ impl EntanglementDistributor {
         self.nic_a.len().min(self.nic_b.len())
     }
 
-    /// Advances the pipeline to `now`: emits pairs, transits fibers,
-    /// stores survivors, evicts stale qubits.
+    /// Advances the pipeline to `now`: applies fault transitions, emits
+    /// pairs, transits fibers, stores survivors, evicts stale qubits.
+    /// Fault edges and emissions interleave in time order (edges first on
+    /// a tie), so a clamp tripping between two emissions still evicts at
+    /// its scheduled instant.
     pub fn advance_to<R: Rng + ?Sized>(&mut self, now: SimTime, rng: &mut R) {
-        while self.next_emission <= now {
-            let t = self.next_emission;
-            self.stats.emitted += 1;
-            EPR_EMITTED.inc();
-            let id = self.next_pair_id;
-            self.next_pair_id += 1;
-
-            let a_survives = self.config.link_a.transmit(rng);
-            let b_survives = self.config.link_b.transmit(rng);
-            if a_survives && b_survives {
-                let arrive_a = t + self.config.link_a.propagation_delay();
-                let arrive_b = t + self.config.link_b.propagation_delay();
-                // A full memory overwrites its oldest qubit; the evicted
-                // qubit's partner half becomes an orphan and is pruned
-                // here (symmetric memories usually evict the same pair).
-                if let Some(ev) = self.nic_a.store(id, arrive_a) {
-                    self.nic_b.take_pair_id(ev.pair_id);
+        loop {
+            let emission = self.next_emission;
+            if let Some(edge) = self.faults.next_transition() {
+                if edge <= now && edge <= emission {
+                    self.faults.advance_through(edge);
+                    self.apply_fault_state();
+                    continue;
                 }
-                if let Some(ev) = self.nic_b.store(id, arrive_b) {
-                    self.nic_a.take_pair_id(ev.pair_id);
+            }
+            if emission > now {
+                break;
+            }
+            let t = emission;
+            let state = self.faults.state();
+            if self.config.source.brownout_keeps(state.rate_factor, rng) {
+                self.stats.emitted += 1;
+                EPR_EMITTED.inc();
+                let id = self.next_pair_id;
+                self.next_pair_id += 1;
+
+                let a_survives = self.config.link_a.transmit_through(state.link_a_up, rng);
+                let b_survives = self.config.link_b.transmit_through(state.link_b_up, rng);
+                if a_survives && b_survives {
+                    let arrive_a = t + self.config.link_a.propagation_delay();
+                    let arrive_b = t + self.config.link_b.propagation_delay();
+                    // A full memory overwrites its oldest qubit; the evicted
+                    // qubit's partner half becomes an orphan and is pruned
+                    // here (symmetric memories usually evict the same pair).
+                    if let Some(ev) = self.nic_a.store(id, arrive_a) {
+                        self.nic_b.take_pair_id(ev.pair_id);
+                    }
+                    if let Some(ev) = self.nic_b.store(id, arrive_b) {
+                        self.nic_a.take_pair_id(ev.pair_id);
+                    }
+                } else {
+                    self.stats.lost_in_fiber += 1;
+                    EPR_LOST_FIBER.inc();
+                    if !state.link_a_up || !state.link_b_up {
+                        self.stats.lost_outage += 1;
+                        EPR_LOST_OUTAGE.inc();
+                    }
                 }
             } else {
-                self.stats.lost_in_fiber += 1;
-                EPR_LOST_FIBER.inc();
+                self.stats.suppressed += 1;
+                EPR_SUPPRESSED.inc();
             }
             self.next_emission = self.config.source.next_emission(t, rng);
         }
@@ -242,6 +304,7 @@ mod tests {
             memory_lifetime: Duration::from_micros(100),
             max_age: Duration::from_micros(160),
             consume_policy: ConsumePolicy::OldestFirst,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -307,6 +370,90 @@ mod tests {
         d.advance_to(SimTime::from_micros(100), &mut rng);
         assert!(d.stats().dropped_full > 0);
         assert!(d.buffered() <= 2);
+    }
+
+    #[test]
+    fn total_link_outage_delivers_nothing_and_counts_losses() {
+        use crate::faults::{FaultKind, FaultWindow, LinkSide};
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut cfg = fast_config();
+        cfg.faults.push(FaultWindow {
+            start: SimTime::ZERO + Duration::from_nanos(1),
+            end: SimTime::from_micros(500),
+            kind: FaultKind::LinkOutage(LinkSide::Both),
+        });
+        let mut d = EntanglementDistributor::new(cfg, &mut rng);
+        d.advance_to(SimTime::from_micros(100), &mut rng);
+        let s = d.stats();
+        assert!(s.emitted > 0);
+        assert_eq!(s.lost_outage, s.emitted, "every pair dies in the outage");
+        assert_eq!(s.lost_in_fiber, s.emitted);
+        assert_eq!(d.buffered(), 0);
+        assert_eq!(d.fault_transitions(), 1, "only the on-edge so far");
+    }
+
+    #[test]
+    fn brownout_thins_emissions() {
+        use crate::faults::{FaultKind, FaultWindow};
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut cfg = fast_config();
+        cfg.faults.push(FaultWindow {
+            start: SimTime::ZERO + Duration::from_nanos(1),
+            end: SimTime::from_micros(500),
+            kind: FaultKind::SourceBrownout { rate_factor: 0.1 },
+        });
+        let mut d = EntanglementDistributor::new(cfg, &mut rng);
+        d.advance_to(SimTime::from_micros(200), &mut rng);
+        let s = d.stats();
+        assert!(s.suppressed > 0);
+        // ~90% of the ~200 scheduled emissions are suppressed.
+        let kept = s.emitted as f64 / (s.emitted + s.suppressed) as f64;
+        assert!(kept < 0.25, "kept fraction {kept}");
+    }
+
+    #[test]
+    fn clamp_evicts_midstream_and_prunes_partners() {
+        use crate::faults::{FaultKind, FaultWindow};
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut cfg = fast_config();
+        cfg.max_age = Duration::from_secs(1); // isolate the clamp effect
+        cfg.faults.push(FaultWindow {
+            start: SimTime::from_micros(50),
+            end: SimTime::from_micros(80),
+            kind: FaultKind::QnicClamp { capacity: 1 },
+        });
+        let mut d = EntanglementDistributor::new(cfg, &mut rng);
+        d.advance_to(SimTime::from_micros(40), &mut rng);
+        assert!(d.buffered() > 1, "buffer filled before the clamp");
+        d.advance_to(SimTime::from_micros(60), &mut rng);
+        assert!(d.buffered() <= 1, "clamp took effect mid-run");
+        assert!(d.stats().clamp_evicted > 0);
+        d.advance_to(SimTime::from_micros(100), &mut rng);
+        assert!(d.buffered() > 1, "clamp released, buffer refills");
+    }
+
+    #[test]
+    fn empty_fault_plan_preserves_the_rng_stream() {
+        // The fault hooks must not draw randomness when no fault is
+        // active: a run with an empty plan is byte-identical to the
+        // pre-fault-injection behaviour.
+        let run = |cfg: DistributorConfig| -> (DistributorStats, u64) {
+            let mut rng = StdRng::seed_from_u64(24);
+            let mut d = EntanglementDistributor::new(cfg, &mut rng);
+            let mut consumed_seq = 0u64;
+            let mut now = SimTime::ZERO;
+            for i in 0..40 {
+                now += Duration::from_micros(7);
+                if d.take_pair(now, &mut rng).is_some() {
+                    consumed_seq |= 1 << i;
+                }
+            }
+            (d.stats(), consumed_seq)
+        };
+        let nominal = run(fast_config());
+        let mut with_plan = fast_config();
+        with_plan.faults = FaultPlan::none();
+        assert_eq!(run(with_plan), nominal);
     }
 
     #[test]

@@ -65,6 +65,18 @@ impl EprSource {
         now + self.sample_interval(rng)
     }
 
+    /// Whether an emission scheduled at the nominal rate survives a
+    /// brownout at `rate_factor` × nominal. Thinning a Poisson process
+    /// keeps each event independently with probability `rate_factor`,
+    /// which yields exactly a Poisson process at the reduced rate — so a
+    /// brownout needs no re-scheduling of pending emissions. Draws no
+    /// randomness at `rate_factor ≥ 1`, so fault-free runs keep their
+    /// exact RNG stream.
+    pub fn brownout_keeps<R: Rng + ?Sized>(&self, rate_factor: f64, rng: &mut R) -> bool {
+        debug_assert!(rate_factor >= 0.0, "negative rate factor");
+        rate_factor >= 1.0 || rng.gen::<f64>() < rate_factor
+    }
+
     /// Generates one entangled pair: a perfect Bell pair at visibility 1,
     /// otherwise a Werner state.
     ///

@@ -18,6 +18,9 @@
 //! - [`timing`]: the decision-latency comparison of Fig. 2 — pre-shared
 //!   entanglement (decide immediately) vs classical coordination (pay at
 //!   least one RTT).
+//! - [`faults`]: deterministic fault injection — seeded [`FaultPlan`]s
+//!   schedule link outages, source brownouts, QNIC capacity clamps, and
+//!   decoherence spikes as discrete events the distributor replays.
 //!
 //! The simulator is event-driven and synchronous, in the style of smoltcp:
 //! no async runtime (this is CPU-bound work), explicit time, deterministic
@@ -26,6 +29,7 @@
 pub mod des;
 pub mod distributor;
 pub mod epr;
+pub mod faults;
 pub mod link;
 pub mod qnic;
 pub mod swap;
@@ -35,6 +39,7 @@ pub mod timing;
 pub use des::EventQueue;
 pub use distributor::{ConsumePolicy, DistributorConfig, DistributorStats, EntanglementDistributor};
 pub use epr::EprSource;
+pub use faults::{FaultClock, FaultKind, FaultPlan, FaultState, FaultWindow, LinkSide};
 pub use link::FiberLink;
 pub use qnic::{Qnic, StoredQubit};
 pub use swap::{entanglement_swap, SwapOutcome};

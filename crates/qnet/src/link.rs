@@ -60,7 +60,17 @@ impl FiberLink {
 
     /// Samples whether a photon survives transit.
     pub fn transmit<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
-        rng.gen::<f64>() < self.survival_probability()
+        self.transmit_through(true, rng)
+    }
+
+    /// [`Self::transmit`] through a link that may be down (`up == false`
+    /// during a [`crate::faults::FaultKind::LinkOutage`]): a downed link
+    /// passes nothing. The attenuation draw happens unconditionally so a
+    /// run's RNG stream does not depend on the fault schedule — only the
+    /// outcomes do.
+    pub fn transmit_through<R: Rng + ?Sized>(&self, up: bool, rng: &mut R) -> bool {
+        let survives = rng.gen::<f64>() < self.survival_probability();
+        up && survives
     }
 }
 

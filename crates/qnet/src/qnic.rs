@@ -23,6 +23,8 @@ static QNIC_OVERWRITE_DROPS: obs::LazyCounter =
 static QNIC_EXPIRED: obs::LazyCounter = obs::LazyCounter::new("qnet.qnic.expired");
 /// Occupancy high-water mark across all NICs in the process.
 static QNIC_OCCUPANCY: obs::LazyGauge = obs::LazyGauge::new("qnet.qnic.occupancy");
+/// Qubits evicted when a fault clamped capacity below current occupancy.
+static QNIC_CLAMP_EVICTED: obs::LazyCounter = obs::LazyCounter::new("qnet.qnic.clamp_evicted");
 
 /// A qubit half-pair sitting in QNIC memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,10 +42,16 @@ pub struct Qnic {
     capacity: usize,
     lifetime: Duration,
     max_age: Duration,
+    /// Fault-injected capacity clamp ([`Self::set_capacity_clamp`]).
+    clamp: Option<usize>,
+    /// Fault-injected τ multiplier ([`Self::set_lifetime_scale`]).
+    lifetime_scale: f64,
     /// Qubits dropped because memory was full on arrival.
     pub dropped_full: u64,
     /// Qubits evicted because they exceeded `max_age`.
     pub expired: u64,
+    /// Qubits evicted by a capacity clamp taking effect.
+    pub clamp_evicted: u64,
 }
 
 impl Qnic {
@@ -60,8 +68,11 @@ impl Qnic {
             capacity,
             lifetime,
             max_age,
+            clamp: None,
+            lifetime_scale: 1.0,
             dropped_full: 0,
             expired: 0,
+            clamp_evicted: 0,
         }
     }
 
@@ -75,9 +86,50 @@ impl Qnic {
         )
     }
 
-    /// Coherence lifetime τ.
+    /// Coherence lifetime τ (nominal, before any fault scaling).
     pub fn lifetime(&self) -> Duration {
         self.lifetime
+    }
+
+    /// Nominal memory capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Capacity currently in force: the nominal capacity, tightened by
+    /// any active clamp (never below one slot).
+    pub fn effective_capacity(&self) -> usize {
+        match self.clamp {
+            Some(c) => self.capacity.min(c.max(1)),
+            None => self.capacity,
+        }
+    }
+
+    /// Applies (or clears, with `None`) a fault-injected capacity clamp.
+    /// Qubits over the new quota are evicted immediately, oldest first —
+    /// they are returned so the caller can prune partner halves — and
+    /// counted in `clamp_evicted`, *not* `dropped_full` (which counts
+    /// exactly the arrival overwrites).
+    pub fn set_capacity_clamp(&mut self, clamp: Option<usize>) -> Vec<StoredQubit> {
+        self.clamp = clamp;
+        let quota = self.effective_capacity();
+        let mut evicted = Vec::new();
+        while self.slots.len() > quota {
+            evicted.push(self.slots.pop_front().expect("len > quota ≥ 0"));
+        }
+        self.clamp_evicted += evicted.len() as u64;
+        QNIC_CLAMP_EVICTED.add(evicted.len() as u64);
+        evicted
+    }
+
+    /// Scales the coherence lifetime used by [`Self::decay_channel`] —
+    /// a [`crate::faults::FaultKind::DecoherenceSpike`] sets this below 1.
+    ///
+    /// # Panics
+    /// Panics if `scale` is not positive.
+    pub fn set_lifetime_scale(&mut self, scale: f64) {
+        assert!(scale > 0.0, "lifetime scale must be positive");
+        self.lifetime_scale = scale;
     }
 
     /// Number of stored qubits.
@@ -96,7 +148,7 @@ impl Qnic {
     /// matches how a cyclic memory register behaves. Returns the evicted
     /// qubit, if any.
     pub fn store(&mut self, pair_id: u64, arrival: SimTime) -> Option<StoredQubit> {
-        let evicted = if self.slots.len() >= self.capacity {
+        let evicted = if self.slots.len() >= self.effective_capacity() {
             self.dropped_full += 1;
             QNIC_OVERWRITE_DROPS.inc();
             self.slots.pop_front()
@@ -143,7 +195,7 @@ impl Qnic {
     /// `now` after arriving at `arrival`.
     pub fn decay_channel(&self, arrival: SimTime, now: SimTime) -> KrausChannel {
         let held = now.duration_since(arrival).as_secs_f64();
-        KrausChannel::storage_decay(held, self.lifetime.as_secs_f64())
+        KrausChannel::storage_decay(held, self.lifetime.as_secs_f64() * self.lifetime_scale)
             .expect("held ≥ 0 and lifetime > 0 by construction")
     }
 }
@@ -223,5 +275,58 @@ mod tests {
     #[should_panic(expected = "at least one memory slot")]
     fn zero_capacity_panics() {
         Qnic::new(0, Duration::from_micros(1), Duration::from_micros(1));
+    }
+
+    #[test]
+    fn capacity_clamp_evicts_oldest_and_counts_separately() {
+        let mut n = Qnic::new(4, Duration::from_micros(100), Duration::from_micros(160));
+        for id in 0..4 {
+            n.store(id, SimTime::from_micros(id));
+        }
+        let evicted = n.set_capacity_clamp(Some(2));
+        assert_eq!(evicted.iter().map(|q| q.pair_id).collect::<Vec<_>>(), [0, 1]);
+        assert_eq!(n.len(), 2);
+        assert_eq!(n.effective_capacity(), 2);
+        assert_eq!(n.clamp_evicted, 2);
+        assert_eq!(n.dropped_full, 0, "clamp evictions are not overwrite drops");
+
+        // While clamped, stores overwrite at the clamped quota.
+        n.store(10, SimTime::from_micros(10));
+        assert_eq!(n.dropped_full, 1);
+        assert_eq!(n.len(), 2);
+
+        // Clearing the clamp restores the nominal quota without eviction.
+        assert!(n.set_capacity_clamp(None).is_empty());
+        assert_eq!(n.effective_capacity(), 4);
+        n.store(11, SimTime::from_micros(11));
+        assert_eq!(n.dropped_full, 1);
+        assert_eq!(n.len(), 3);
+    }
+
+    #[test]
+    fn clamp_never_drops_below_one_slot() {
+        let mut n = Qnic::new(4, Duration::from_micros(100), Duration::from_micros(160));
+        n.store(1, SimTime::ZERO);
+        n.store(2, SimTime::ZERO);
+        let evicted = n.set_capacity_clamp(Some(0));
+        assert_eq!(n.effective_capacity(), 1);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(n.len(), 1);
+    }
+
+    #[test]
+    fn lifetime_scale_accelerates_decay() {
+        let mut n = nic();
+        let rho = DensityMatrix::from_pure(&bell::phi_plus());
+        let held = SimTime::from_micros(50);
+        let nominal = n.decay_channel(SimTime::ZERO, held).apply(&rho, 0).unwrap();
+        n.set_lifetime_scale(0.25);
+        let spiked = n.decay_channel(SimTime::ZERO, held).apply(&rho, 0).unwrap();
+        assert!(
+            spiked.purity() < nominal.purity(),
+            "spiked τ must dephase faster: {} vs {}",
+            spiked.purity(),
+            nominal.purity()
+        );
     }
 }

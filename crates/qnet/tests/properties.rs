@@ -55,6 +55,7 @@ proptest! {
             memory_lifetime: Duration::from_micros(100),
             max_age: Duration::from_micros(120),
             consume_policy: ConsumePolicy::FreshestFirst,
+            faults: qnet::FaultPlan::none(),
         };
         let mut rng = StdRng::seed_from_u64(seed);
         let mut d = EntanglementDistributor::new(config, &mut rng);

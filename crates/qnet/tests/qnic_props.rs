@@ -1,0 +1,119 @@
+//! Property-based invariants of the QNIC memory under arbitrary
+//! interleavings of stores, evictions, consumes, and fault clamps.
+
+use proptest::prelude::*;
+use qnet::Qnic;
+use qnet::SimTime;
+use std::time::Duration;
+
+/// One scripted operation against the NIC, decoded from a (code, arg)
+/// pair so the generator stays a plain integer strategy.
+fn apply_op(
+    nic: &mut Qnic,
+    code: u8,
+    arg: u64,
+    now: &mut SimTime,
+    next_id: &mut u64,
+    overwrites: &mut u64,
+) {
+    match code {
+        0 => {
+            if nic.store(*next_id, *now).is_some() {
+                *overwrites += 1;
+            }
+            *next_id += 1;
+        }
+        1 => {
+            *now += Duration::from_micros(arg);
+            nic.evict_expired(*now);
+        }
+        2 => {
+            nic.take_oldest();
+        }
+        3 => {
+            nic.take_newest();
+        }
+        4 => {
+            if *next_id > 0 {
+                nic.take_pair_id(arg % *next_id);
+            }
+        }
+        _ => {
+            let clamp = if arg.is_multiple_of(4) { None } else { Some((arg % 8) as usize) };
+            nic.set_capacity_clamp(clamp);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Occupancy never exceeds the capacity in force, whatever the
+    /// interleaving of stores, age evictions, takes, and fault clamps.
+    #[test]
+    fn occupancy_bounded_by_effective_capacity(
+        capacity in 1usize..12,
+        ops in collection::vec((0u8..6, 0u64..64), 1..128))
+    {
+        let mut nic = Qnic::new(capacity, Duration::from_micros(100), Duration::from_micros(160));
+        let mut now = SimTime::ZERO;
+        let mut next_id = 0u64;
+        let mut overwrites = 0u64;
+        for &(code, arg) in &ops {
+            apply_op(&mut nic, code, arg, &mut now, &mut next_id, &mut overwrites);
+            prop_assert!(
+                nic.len() <= nic.effective_capacity(),
+                "len {} > effective capacity {} after op ({code}, {arg})",
+                nic.len(),
+                nic.effective_capacity()
+            );
+            prop_assert!(nic.effective_capacity() <= nic.capacity());
+        }
+    }
+
+    /// `dropped_full` counts exactly the arrival overwrites — no more
+    /// (clamp and age evictions are tallied elsewhere), no fewer.
+    #[test]
+    fn dropped_full_exactly_counts_overwrites(
+        capacity in 1usize..12,
+        ops in collection::vec((0u8..6, 0u64..64), 1..128))
+    {
+        let mut nic = Qnic::new(capacity, Duration::from_micros(100), Duration::from_micros(160));
+        let mut now = SimTime::ZERO;
+        let mut next_id = 0u64;
+        let mut overwrites = 0u64;
+        for &(code, arg) in &ops {
+            apply_op(&mut nic, code, arg, &mut now, &mut next_id, &mut overwrites);
+            prop_assert_eq!(nic.dropped_full, overwrites);
+        }
+    }
+
+    /// Age eviction is monotone in `now`: evicting at t₁ then t₂ ≥ t₁
+    /// leaves exactly the state (and expired count) of evicting once at
+    /// t₂, and later probes can only evict more.
+    #[test]
+    fn evict_expired_monotone_in_now(
+        arrivals in collection::vec(0u64..400, 1..24),
+        t1 in 0u64..600,
+        dt in 0u64..600)
+    {
+        let mut staged = Qnic::new(32, Duration::from_micros(100), Duration::from_micros(160));
+        for (id, &a) in arrivals.iter().enumerate() {
+            staged.store(id as u64, SimTime::from_micros(a));
+        }
+        let mut direct = staged.clone();
+
+        let (t1, t2) = (SimTime::from_micros(t1), SimTime::from_micros(t1 + dt));
+        let first = staged.evict_expired(t1);
+        let second = staged.evict_expired(t2);
+        let all_at_once = direct.evict_expired(t2);
+
+        prop_assert_eq!(first + second, all_at_once, "two-step eviction loses or double-counts");
+        prop_assert_eq!(staged.expired, direct.expired);
+        prop_assert_eq!(staged.len(), direct.len());
+        while let (Some(a), Some(b)) = (staged.take_oldest(), direct.take_oldest()) {
+            prop_assert_eq!(a, b, "survivor sets diverge");
+        }
+        prop_assert!(staged.is_empty() && direct.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! Statistical acceptance tests for the fiber-loss model.
+//!
+//! [`qnet::FiberLink::transmit`] must sample survival at exactly
+//! `survival_probability()` = 10^(−0.2·L/10). Each assertion states its
+//! sample size and confidence through `qmath::assert_prob_in!` — run
+//! `make test-stat` to see the accounting printed.
+
+use qmath::assert_prob_in;
+use qnet::FiberLink;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// 99.9% Wilson intervals over 50 000 draws: half-width ≈ ±0.007 at
+/// p = 0.5, shrinking toward the edges — tight enough to catch a dB/km
+/// or sign slip (0 km: p = 1; 25 km: p ≈ 0.316; 50 km: p = 0.1).
+const CONF: f64 = 0.999;
+const TRIALS: u64 = 50_000;
+
+fn survivors(link: &FiberLink, rng: &mut StdRng) -> u64 {
+    (0..TRIALS).filter(|_| link.transmit(rng)).count() as u64
+}
+
+#[test]
+fn transmit_matches_survival_probability_at_paper_lengths() {
+    for (lane, km) in [0.0f64, 25.0, 50.0].into_iter().enumerate() {
+        let link = FiberLink::new(km);
+        let mut rng = StdRng::seed_from_u64(400 + lane as u64);
+        let s = survivors(&link, &mut rng);
+        assert_prob_in!(s, TRIALS, link.survival_probability(), conf = CONF);
+    }
+}
+
+#[test]
+fn downed_link_never_transmits_but_keeps_its_rng_draws() {
+    // The outage path must preserve the attenuation draw (determinism
+    // contract) while forcing loss.
+    let link = FiberLink::new(25.0);
+    let mut up_rng = StdRng::seed_from_u64(500);
+    let mut down_rng = StdRng::seed_from_u64(500);
+    for _ in 0..2_000 {
+        assert!(!link.transmit_through(false, &mut down_rng));
+        let _ = link.transmit_through(true, &mut up_rng);
+    }
+    // Identical consumption: both streams are at the same point.
+    use rand::Rng;
+    assert_eq!(up_rng.gen::<u64>(), down_rng.gen::<u64>());
+}

@@ -55,6 +55,7 @@ fn good_hardware_beats_classical_ceiling() {
         memory_lifetime: Duration::from_micros(100),
         max_age: Duration::from_micros(50),
         consume_policy: ConsumePolicy::FreshestFirst,
+        faults: qnet::FaultPlan::none(),
     };
     let (rate, availability) = pipeline_chsh(config, 8_000, 1);
     assert!(availability > 0.9, "availability {availability}");
@@ -76,6 +77,7 @@ fn poor_visibility_hardware_loses_the_advantage() {
         memory_lifetime: Duration::from_micros(100),
         max_age: Duration::from_micros(50),
         consume_policy: ConsumePolicy::FreshestFirst,
+        faults: qnet::FaultPlan::none(),
     };
     let (rate, _) = pipeline_chsh(config, 8_000, 2);
     assert!(rate < 0.75, "win rate {rate} must fall below classical");
@@ -93,6 +95,7 @@ fn long_storage_degrades_win_rate() {
         memory_lifetime: Duration::from_micros(100),
         max_age: Duration::from_micros(30),
         consume_policy: ConsumePolicy::FreshestFirst,
+        faults: qnet::FaultPlan::none(),
     };
     let stale = DistributorConfig {
         qnic_capacity: 512, // deep buffer: FIFO consumption of old pairs
@@ -121,6 +124,7 @@ fn lossy_fiber_reduces_availability_not_correctness() {
         memory_lifetime: Duration::from_micros(100),
         max_age: Duration::from_micros(60),
         consume_policy: ConsumePolicy::FreshestFirst,
+        faults: qnet::FaultPlan::none(),
     };
     let (rate, availability) = pipeline_chsh(config, 20_000, 5);
     assert!(availability < 1.0);
