@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test clippy bench-compile bench-sweep bench-xor repro-quick test-stat
+.PHONY: ci build test clippy bench-compile bench-sweep bench-xor bench-plane repro-quick test-stat
 
 ci: build test clippy bench-compile repro-quick
 
@@ -30,6 +30,12 @@ bench-sweep:
 # recorded in DESIGN.md §5.
 bench-xor:
 	$(CARGO) bench -p qnlg-bench --bench xor_value
+
+# Entanglement data-plane ablation: Werner kernel vs exact oracle,
+# batched (survivor-process) vs per-emission sampling, calendar wheel vs
+# binary heap — the DESIGN.md §5 batched-plane rows.
+bench-plane:
+	$(CARGO) bench -p qnlg-bench --bench plane
 
 # Statistical acceptance tests with their sample-size/confidence
 # accounting printed (every stochastic assertion states its n and

@@ -1,0 +1,169 @@
+//! Ablation bench for the batched entanglement data plane (DESIGN.md §5).
+//!
+//! Three independent knobs, each measured against its predecessor:
+//!
+//! - **kernel vs oracle** — closed-form `WernerPair::sample` (one RNG
+//!   draw against a 4-entry CDF) vs the density-matrix path
+//!   (`take_pair` → Kraus decay → rotate-measure-rotate per half).
+//! - **batched vs per-emission** — survivor-process sampling (one
+//!   exponential gap at `p·λ` + one geometric loss count per survivor)
+//!   vs one gap plus loss draws per emitted pair.
+//! - **wheel vs heap** — the bucketed calendar queue against the
+//!   `BinaryHeap` reference, on the distributor's own arrival pattern.
+//!
+//! Run with `make bench-plane`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use games::chsh::{alice_angle, bob_angle};
+use qnet::{
+    ConsumePolicy, DistributorConfig, EmissionMode, EntanglementDistributor, EprSource,
+    EventQueue, FaultPlan, FiberLink, HeapQueue, SimTime,
+};
+use qsim::Party;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn plane_config(emission: EmissionMode, link_a_km: f64) -> DistributorConfig {
+    DistributorConfig {
+        source: EprSource::new(1e6, 0.95),
+        link_a: FiberLink::new(link_a_km),
+        link_b: FiberLink::new(1.0),
+        qnic_capacity: 32,
+        memory_lifetime: Duration::from_micros(100),
+        max_age: Duration::from_micros(160),
+        consume_policy: ConsumePolicy::FreshestFirst,
+        faults: FaultPlan::none(),
+        emission,
+    }
+}
+
+/// One consumption round: advance 10 µs of plane time and take a pair.
+/// `kernel` selects the closed-form path; otherwise the exact oracle.
+struct PlaneDriver {
+    dist: EntanglementDistributor,
+    now: SimTime,
+    rng: StdRng,
+}
+
+impl PlaneDriver {
+    fn new(emission: EmissionMode, link_a_km: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = EntanglementDistributor::new(plane_config(emission, link_a_km), &mut rng);
+        PlaneDriver {
+            dist,
+            now: SimTime::ZERO,
+            rng,
+        }
+    }
+
+    fn step_kernel(&mut self) -> (u8, u8) {
+        self.now += Duration::from_micros(10);
+        match self.dist.take_werner(self.now) {
+            Some(pair) => pair.sample(alice_angle(1), bob_angle(0), &mut self.rng),
+            None => (0, 0),
+        }
+    }
+
+    fn step_oracle(&mut self) -> (u8, u8) {
+        self.now += Duration::from_micros(10);
+        match self.dist.take_pair(self.now) {
+            Some(mut pair) => {
+                let a = pair
+                    .measure_angle(Party::A, alice_angle(1), &mut self.rng)
+                    .expect("fresh pair");
+                let b = pair
+                    .measure_angle(Party::B, bob_angle(0), &mut self.rng)
+                    .expect("fresh pair");
+                (a, b)
+            }
+            None => (0, 0),
+        }
+    }
+}
+
+fn bench_measurement_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plane_measurement");
+
+    group.bench_function("werner_kernel", |b| {
+        let mut d = PlaneDriver::new(EmissionMode::Batched, 10.0, 1);
+        b.iter(|| black_box(d.step_kernel()))
+    });
+
+    group.bench_function("exact_oracle", |b| {
+        let mut d = PlaneDriver::new(EmissionMode::Batched, 10.0, 2);
+        b.iter(|| black_box(d.step_oracle()))
+    });
+
+    group.finish();
+}
+
+fn bench_emission_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plane_emission");
+    // 50 km far link ⇒ ~10% pair survival: the survivor process runs
+    // ~10× fewer draws than per-emission sampling.
+    const LOSSY_KM: f64 = 50.0;
+
+    group.bench_function("batched", |b| {
+        let mut d = PlaneDriver::new(EmissionMode::Batched, LOSSY_KM, 3);
+        b.iter(|| black_box(d.step_kernel()))
+    });
+
+    group.bench_function("per_emission", |b| {
+        let mut d = PlaneDriver::new(EmissionMode::PerEmission, LOSSY_KM, 4);
+        b.iter(|| black_box(d.step_kernel()))
+    });
+
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plane_event_queue");
+    // The distributor's arrival pattern: ~0.63 events per µs, each
+    // scheduled ~50 µs ahead (one propagation delay), popped in order —
+    // so ~32 events are in flight at any instant.
+    const IN_FLIGHT: usize = 32;
+
+    group.bench_function("calendar_wheel", |b| {
+        let mut q = EventQueue::with_profile(1e6, Duration::from_micros(60));
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = 0u64;
+        for i in 0..IN_FLIGHT {
+            t += rng.gen_range(800u64..2400);
+            q.schedule(SimTime::from_nanos(t + 50_000), i as u64);
+        }
+        b.iter(|| {
+            let popped = q.pop().expect("queue primed");
+            t += rng.gen_range(800u64..2400);
+            q.schedule(SimTime::from_nanos(t + 50_000), popped.1);
+            black_box(popped)
+        })
+    });
+
+    group.bench_function("binary_heap", |b| {
+        let mut q = HeapQueue::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = 0u64;
+        for i in 0..IN_FLIGHT {
+            t += rng.gen_range(800u64..2400);
+            q.schedule(SimTime::from_nanos(t + 50_000), i as u64);
+        }
+        b.iter(|| {
+            let popped = q.pop().expect("queue primed");
+            t += rng.gen_range(800u64..2400);
+            q.schedule(SimTime::from_nanos(t + 50_000), popped.1);
+            black_box(popped)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_measurement_path,
+    bench_emission_path,
+    bench_event_queue
+);
+criterion_main!(benches);

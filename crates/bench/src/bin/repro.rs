@@ -33,10 +33,11 @@
 //! | hybrid           | §4.1 caveat: dedicated-server baseline (E7)      |
 //! | pipeline         | E8: hardware-in-the-loop Figure 4                |
 
-use qnlg_bench::report::{validate_artifact_line, RunContext};
+use qnlg_bench::report::{validate_artifact_line, PerfStats, RunContext};
 use qnlg_bench::{experiments, Report};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Options {
     quick: bool,
@@ -45,26 +46,39 @@ struct Options {
 }
 
 /// Runs one experiment with the metrics registry scoped to it, so the
-/// artifact's `obs` section covers exactly this run.
-fn run_instrumented(name: &str, quick: bool) -> Option<(Report, obs::Snapshot)> {
+/// artifact's `obs` section covers exactly this run; times the run for
+/// the artifact's `perf` section.
+fn run_instrumented(name: &str, quick: bool) -> Option<(Report, obs::Snapshot, PerfStats)> {
     obs::reset();
     obs::set_enabled(true);
+    let started = Instant::now();
     let report = experiments::run(name, quick);
+    let elapsed = started.elapsed();
     let snap = obs::snapshot();
     obs::set_enabled(false);
-    report.map(|r| (r, snap))
+    let perf = PerfStats::from_elapsed(elapsed, Some(&snap));
+    report.map(|r| (r, snap, perf))
 }
 
 /// Emits one finished report: text and/or JSON to stdout, plus the
 /// `BENCH_<name>.json` artifact when `--out` is set. Returns false on an
 /// artifact I/O failure.
-fn emit(report: &Report, snap: obs::Snapshot, opts: &Options) -> bool {
-    let ctx = RunContext::current(opts.quick, Some(snap));
+fn emit(report: &Report, snap: obs::Snapshot, perf: PerfStats, opts: &Options) -> bool {
+    let mut ctx = RunContext::current(opts.quick, Some(snap));
+    ctx.perf = Some(perf);
     let line = report.to_json(&ctx).render();
     if opts.json {
         println!("{line}");
     } else {
         println!("{report}");
+        // Timing is machine-dependent, so it goes to stderr: stdout
+        // stays byte-identical across runs and thread counts.
+        eprintln!(
+            "perf: {:.1} ms ({:.2e} pairs/s, {:.2e} tasks/s)",
+            perf.elapsed_ns as f64 / 1e6,
+            perf.pairs_per_sec,
+            perf.tasks_per_sec
+        );
     }
     if let Some(dir) = &opts.out {
         let path = dir.join(format!("BENCH_{}.json", report.name));
@@ -198,9 +212,9 @@ fn main() -> ExitCode {
                 if !opts.json {
                     println!("================================================================");
                 }
-                let (report, snap) =
+                let (report, snap, perf) =
                     run_instrumented(name, opts.quick).expect("ALL only lists known experiments");
-                all_passed &= emit(&report, snap, &opts);
+                all_passed &= emit(&report, snap, perf, &opts);
                 if !report.passed() {
                     eprintln!("FAIL: experiment '{name}' acceptance checks failed");
                     all_passed = false;
@@ -216,8 +230,8 @@ fn main() -> ExitCode {
             let mut ok = true;
             for name in &names {
                 match run_instrumented(name, opts.quick) {
-                    Some((report, snap)) => {
-                        ok &= emit(&report, snap, &opts);
+                    Some((report, snap, perf)) => {
+                        ok &= emit(&report, snap, perf, &opts);
                         if !report.passed() {
                             eprintln!("FAIL: experiment '{name}' acceptance checks failed");
                             ok = false;

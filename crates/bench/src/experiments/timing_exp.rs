@@ -27,9 +27,15 @@ pub fn run(quick: bool) -> Report {
     let mut now = SimTime::ZERO;
     let step = Duration::from_micros(20);
     let decisions = if quick { 2_000 } else { 20_000 };
+    // Availability only needs consumption accounting: run the Werner
+    // kernel path unless the exact-oracle escape hatch is set.
     for _ in 0..decisions {
         now += step;
-        let _ = dist.take_pair(now, &mut rng);
+        if qsim::werner::exact_qsim() {
+            let _ = dist.take_pair(now);
+        } else {
+            let _ = dist.take_werner(now);
+        }
     }
     let availability = dist.stats().availability();
 

@@ -166,6 +166,17 @@ impl Report {
                 None => Json::Null,
             },
         ));
+        pairs.push((
+            "perf".into(),
+            match &ctx.perf {
+                Some(p) => Json::obj([
+                    ("elapsed_ns", Json::uint(p.elapsed_ns)),
+                    ("pairs_per_sec", Json::num(p.pairs_per_sec)),
+                    ("tasks_per_sec", Json::num(p.tasks_per_sec)),
+                ]),
+                None => Json::Null,
+            },
+        ));
         Json::Obj(pairs)
     }
 }
@@ -181,6 +192,42 @@ impl std::fmt::Display for Report {
     }
 }
 
+/// Wall-clock performance of one experiment run. Like `threads` and
+/// `git`, this describes the producing machine, not the experiment's
+/// deterministic result — determinism comparisons strip it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfStats {
+    /// Wall-clock nanoseconds for the experiment proper (excludes
+    /// serialization).
+    pub elapsed_ns: u64,
+    /// Entangled pairs emitted per wall-clock second
+    /// (`qnet.epr.emitted / elapsed`); 0 when the experiment runs no
+    /// distributor.
+    pub pairs_per_sec: f64,
+    /// Load-balancer task assignments per wall-clock second
+    /// (`lb.tasks.assigned / elapsed`); 0 when no simulator runs.
+    pub tasks_per_sec: f64,
+}
+
+impl PerfStats {
+    /// Derives throughput from an elapsed time and the obs counters
+    /// captured over the same span.
+    pub fn from_elapsed(elapsed: std::time::Duration, snap: Option<&obs::Snapshot>) -> Self {
+        let elapsed_ns = (elapsed.as_nanos() as u64).max(1);
+        let secs = elapsed_ns as f64 / 1e9;
+        let counter = |name: &str| -> f64 {
+            snap.and_then(|s| s.counters.iter().find(|(n, _)| n == name))
+                .map(|(_, v)| *v as f64)
+                .unwrap_or(0.0)
+        };
+        PerfStats {
+            elapsed_ns,
+            pairs_per_sec: counter("qnet.epr.emitted") / secs,
+            tasks_per_sec: counter("lb.tasks.assigned") / secs,
+        }
+    }
+}
+
 /// Run-environment fields attached at serialization time (they are not
 /// part of the experiment's deterministic result).
 #[derive(Debug, Clone)]
@@ -193,6 +240,8 @@ pub struct RunContext {
     pub git: String,
     /// Metrics snapshot covering exactly this experiment's run.
     pub obs: Option<obs::Snapshot>,
+    /// Wall-clock timing of this experiment's run.
+    pub perf: Option<PerfStats>,
 }
 
 impl RunContext {
@@ -203,6 +252,7 @@ impl RunContext {
             threads: runtime::thread_count(),
             git: git_describe(),
             obs,
+            perf: None,
         }
     }
 }
@@ -339,6 +389,7 @@ pub const REQUIRED_FIELDS: &[&str] = &[
     "intervals",
     "points",
     "obs",
+    "perf",
 ];
 
 /// Validates one artifact line against the `qnlg.bench.v1` schema.
@@ -369,6 +420,18 @@ pub fn validate_artifact_line(line: &str) -> Result<Json, String> {
     if doc.get("threads").and_then(Json::as_i64).is_none() {
         return Err("'threads' is not an integer".into());
     }
+    // `perf` must be present; when populated (not the determinism-pinned
+    // null) it needs a well-typed elapsed time and throughputs.
+    if let Some(perf) = doc.get("perf").filter(|p| !matches!(p, Json::Null)) {
+        if perf.get("elapsed_ns").and_then(Json::as_i64).is_none() {
+            return Err("'perf.elapsed_ns' is not an integer".into());
+        }
+        for field in ["pairs_per_sec", "tasks_per_sec"] {
+            if perf.get(field).and_then(Json::as_f64).is_none() {
+                return Err(format!("'perf.{field}' is not a number"));
+            }
+        }
+    }
     Ok(doc)
 }
 
@@ -394,10 +457,18 @@ mod tests {
             threads: 4,
             git: "test".into(),
             obs: None,
+            perf: Some(PerfStats {
+                elapsed_ns: 1_500_000,
+                pairs_per_sec: 2e6,
+                tasks_per_sec: 4e5,
+            }),
         };
         let line = r.to_json(&ctx).render();
         let doc = validate_artifact_line(&line).expect("valid artifact");
         assert_eq!(doc.get("experiment").unwrap().as_str(), Some("sample"));
+        let perf = doc.get("perf").unwrap();
+        assert_eq!(perf.get("elapsed_ns").unwrap().as_i64(), Some(1_500_000));
+        assert!(perf.get("pairs_per_sec").unwrap().as_f64().unwrap() > 0.0);
         assert_eq!(doc.get("seed").unwrap().as_i64(), Some(7));
         assert_eq!(doc.get("passed").unwrap().as_bool(), Some(true));
         let interval = doc.get("intervals").unwrap().get("cc").unwrap();

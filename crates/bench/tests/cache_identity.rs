@@ -12,6 +12,7 @@ fn canonical_json(report: &qnlg_bench::Report) -> String {
         threads: 0,
         git: "pinned".into(),
         obs: None,
+        perf: None,
     };
     report.to_json(&ctx).render()
 }

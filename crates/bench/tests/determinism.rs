@@ -27,15 +27,16 @@ fn par_sweep_6x10_grid_is_worker_count_invariant() {
     }
 }
 
-/// Renders a report as a `qnlg.bench.v1` JSON line with the two
-/// run-environment fields (`threads`, `obs`) pinned, so any remaining
-/// byte difference is a real determinism violation.
+/// Renders a report as a `qnlg.bench.v1` JSON line with the
+/// run-environment fields (`threads`, `obs`, `perf`) pinned, so any
+/// remaining byte difference is a real determinism violation.
 fn canonical_json(report: &qnlg_bench::Report) -> String {
     let ctx = qnlg_bench::RunContext {
         quick: true,
         threads: 0,
         git: "pinned".into(),
         obs: None,
+        perf: None,
     };
     report.to_json(&ctx).render()
 }
@@ -132,6 +133,36 @@ fn fig4_faults_chaos_run_is_deterministic() {
     );
 }
 
+/// The batched entanglement data plane end-to-end: the E8
+/// hardware-in-the-loop experiment (per-pair distributors running the
+/// survivor-process fast path, arrival wheel, and Werner kernel) must be
+/// byte-identical across thread counts and obs on/off. This is the
+/// determinism guarantee for the dedicated emission/loss sub-streams:
+/// replay depends only on the construction seed, never on polling or
+/// scheduling.
+#[test]
+fn pipeline_batched_plane_is_deterministic() {
+    let reference = canonical_json(&qnlg_bench::experiments::pipeline_exp::run(true));
+    for _ in 0..2 {
+        let report = qnlg_bench::experiments::pipeline_exp::run(true);
+        assert_eq!(canonical_json(&report), reference, "rerun diverged");
+    }
+    obs::reset();
+    obs::set_enabled(true);
+    let observed = qnlg_bench::experiments::pipeline_exp::run(true);
+    let snap = obs::snapshot();
+    obs::set_enabled(false);
+    assert_eq!(
+        canonical_json(&observed),
+        reference,
+        "enabling obs changed the pipeline report"
+    );
+    assert!(
+        snap.counter("qnet.epr.emitted").unwrap_or(0) > 0,
+        "instrumented run must record emissions"
+    );
+}
+
 /// The JSON artifact line for fig4 must validate against the schema and
 /// carry the fields the acceptance criteria promise: seed, thread count,
 /// per-point SimResult fields, and Wilson intervals.
@@ -143,6 +174,7 @@ fn fig4_artifact_line_matches_schema() {
         threads: 2,
         git: "test".into(),
         obs: None,
+        perf: None,
     };
     let line = report.to_json(&ctx).render();
     let doc = qnlg_bench::report::validate_artifact_line(&line).expect("valid artifact line");

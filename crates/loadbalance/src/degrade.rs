@@ -362,11 +362,11 @@ impl AssignmentStrategy for Degrading {
                 (out, delivered, polled)
             }
             CoordinationMode::ClassicalShared => {
-                let (delivered, polled) = self.inner.poll_delivery(rng);
+                let (delivered, polled) = self.inner.poll_delivery();
                 (self.assign_classical_shared(tasks, rng), delivered, polled)
             }
             CoordinationMode::IndependentRandom => {
-                let (delivered, polled) = self.inner.poll_delivery(rng);
+                let (delivered, polled) = self.inner.poll_delivery();
                 (self.assign_independent(tasks, rng), delivered, polled)
             }
         };

@@ -123,15 +123,51 @@ impl PipelinePairedQuantum {
     /// classical mode, the wrapper keeps calling this so the hardware
     /// keeps running (and consuming pairs at the same cadence), letting
     /// the governor observe delivery recover after a fault clears.
-    pub fn poll_delivery(&mut self, rng: &mut dyn rand::RngCore) -> (u64, u64) {
+    pub fn poll_delivery(&mut self) -> (u64, u64) {
         self.now += self.timestep;
         let mut delivered = 0u64;
         for d in &mut self.distributors {
-            if d.take_pair(self.now, rng).is_some() {
+            if d.take_werner(self.now).is_some() {
                 delivered += 1;
             }
         }
         (delivered, self.distributors.len() as u64)
+    }
+
+    /// Coordinates one CHSH round on pipeline `pair_idx` with inputs
+    /// `(x, y)`, returning the two (already flipped-game-adjusted)
+    /// decision bits, or `None` on a miss.
+    ///
+    /// By default this runs the closed-form Werner kernel
+    /// ([`qnet::EntanglementDistributor::take_werner`] +
+    /// [`qsim::WernerPair::sample`]): one RNG draw per round, no density
+    /// matrices. `QNLG_EXACT_QSIM=1` routes through the gate-evolution
+    /// oracle instead; the two paths sample the same joint distribution
+    /// (proven by the `werner_stat` suite) but consume different RNG
+    /// stream positions, so artifacts are comparable statistically, not
+    /// byte-for-byte.
+    fn coordinate(
+        &mut self,
+        pair_idx: usize,
+        x: usize,
+        y: usize,
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<(bool, bool)> {
+        if qsim::werner::exact_qsim() {
+            let mut pair = self.distributors[pair_idx].take_pair(self.now)?;
+            let a = pair
+                .measure_angle(Party::A, alice_angle(x), rng)
+                .expect("fresh pair");
+            let b = pair
+                .measure_angle(Party::B, bob_angle(y), rng)
+                .expect("fresh pair");
+            // Flipped game: negate Bob's bit (§4.1).
+            Some((a == 1, b == 0))
+        } else {
+            let kernel = self.distributors[pair_idx].take_werner(self.now)?;
+            let (a, b) = kernel.sample(alice_angle(x), bob_angle(y), rng);
+            Some((a == 1, b == 0))
+        }
     }
 }
 
@@ -153,17 +189,10 @@ impl AssignmentStrategy for PipelinePairedQuantum {
                 s1 += 1;
             }
             let (x, y) = (tasks[i].chsh_input(), tasks[i + 1].chsh_input());
-            let (a, b) = match self.distributors[pair_idx].take_pair(self.now, rng) {
-                Some(mut pair) => {
+            let (a, b) = match self.coordinate(pair_idx, x, y, rng) {
+                Some(bits) => {
                     self.stats.quantum_rounds += 1;
-                    let a = pair
-                        .measure_angle(Party::A, alice_angle(x), rng)
-                        .expect("fresh pair");
-                    let b = pair
-                        .measure_angle(Party::B, bob_angle(y), rng)
-                        .expect("fresh pair");
-                    // Flipped game: negate Bob's bit (§4.1).
-                    (a == 1, b == 0)
+                    bits
                 }
                 None => {
                     self.stats.fallback_rounds += 1;
@@ -207,6 +236,7 @@ mod tests {
             max_age: Duration::from_micros(80),
             consume_policy: ConsumePolicy::FreshestFirst,
             faults: qnet::FaultPlan::none(),
+            emission: qnet::EmissionMode::Batched,
         }
     }
 

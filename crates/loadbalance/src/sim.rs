@@ -21,6 +21,9 @@ pub const QUEUE_SERIES_WINDOWS: usize = 32;
 static SIM_RUNS: obs::LazyCounter = obs::LazyCounter::new("lb.sim.runs");
 /// Timesteps simulated (warmup included).
 static SIM_STEPS: obs::LazyCounter = obs::LazyCounter::new("lb.sim.steps");
+/// Tasks routed through a strategy's `assign_all`, across all runs —
+/// the numerator of the artifact `perf.tasks_per_sec` throughput.
+static TASKS_ASSIGNED: obs::LazyCounter = obs::LazyCounter::new("lb.tasks.assigned");
 /// Total queue length across servers, one sample per measured timestep.
 static QUEUE_TOTAL: obs::LazyHist = obs::LazyHist::new("lb.queue.total");
 /// CC pair-rounds that co-located / all CC pair-rounds.
@@ -168,6 +171,7 @@ where
         }
         let assignment = strat.assign_all(&tasks, &queue_lens, rng);
         debug_assert_eq!(assignment.len(), tasks.len());
+        TASKS_ASSIGNED.add(tasks.len() as u64);
 
         for (i, &srv) in assignment.iter().enumerate() {
             servers[srv].enqueue(Task {

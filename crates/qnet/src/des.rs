@@ -2,13 +2,35 @@
 //!
 //! Events are `(SimTime, payload)` pairs drained in time order; ties break
 //! by insertion order (FIFO), which keeps simulations deterministic.
+//!
+//! [`EventQueue`] is a bucketed *calendar queue*: power-of-two-sized
+//! nanosecond buckets cover a sliding window ahead of the pop cursor, and
+//! a [`BinaryHeap`] overflow rung holds far-future events until the window
+//! reaches them. Near-term scheduling and popping — the distributor's
+//! steady state, where every event lands within one propagation delay —
+//! is then O(1) amortized with no per-event allocation once the bucket
+//! vectors have grown to their working size ([`EventQueue::with_profile`]
+//! pre-sizes the geometry from an expected event rate so buckets hold
+//! O(1) events each). [`HeapQueue`] keeps the previous `BinaryHeap`
+//! implementation as the property-test reference and the wheel-vs-heap
+//! ablation arm.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::time::Duration;
 
 /// Events processed (popped) across all queues in the process.
 static DES_EVENTS: obs::LazyCounter = obs::LazyCounter::new("qnet.des.events");
+
+/// Default bucket width: 2¹² ns = 4.096 µs.
+const DEFAULT_SHIFT: u32 = 12;
+/// Default bucket count (window = 256 × 4.096 µs ≈ 1 ms).
+const DEFAULT_BUCKETS: usize = 256;
+const MIN_BUCKETS: usize = 16;
+const MAX_BUCKETS: usize = 8192;
+/// Bucket width never exceeds 2³⁰ ns ≈ 1.07 s.
+const MAX_SHIFT: u32 = 30;
 
 struct Entry<E> {
     time: SimTime,
@@ -37,9 +59,22 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A time-ordered event queue.
+/// A time-ordered event queue (calendar wheel + overflow heap).
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// The wheel: slot `abs & mask` holds events whose bucket index
+    /// `abs = time >> shift` lies in the window `[cursor, cursor + N)` —
+    /// plus stragglers with `abs < cursor` that are still `>= now`
+    /// (stashed in the cursor bucket; the per-bucket min scan orders
+    /// them correctly).
+    buckets: Vec<Vec<Entry<E>>>,
+    mask: u64,
+    shift: u32,
+    /// Absolute bucket index of the scan frontier. Only moves forward.
+    cursor: u64,
+    /// Total events currently in `buckets`.
+    wheel_len: usize,
+    /// Events beyond the window, migrated in as the cursor advances.
+    overflow: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: SimTime,
 }
@@ -51,10 +86,43 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue at time zero.
+    /// Creates an empty queue at time zero with the default geometry.
     pub fn new() -> Self {
+        Self::with_geometry(DEFAULT_SHIFT, DEFAULT_BUCKETS)
+    }
+
+    /// Creates a queue sized for `rate_hz` events/s spread over
+    /// `horizon` of look-ahead: bucket width ≈ the mean inter-event gap
+    /// (so buckets hold O(1) events) and enough buckets to cover the
+    /// horizon without touching the overflow heap.
+    pub fn with_profile(rate_hz: f64, horizon: Duration) -> Self {
+        let gap_ns = (1e9 / rate_hz.max(1e-3)).clamp(1.0, 1e12) as u64;
+        let shift = gap_ns
+            .next_power_of_two()
+            .trailing_zeros()
+            .min(MAX_SHIFT);
+        let window = ((horizon.as_nanos() as u64 >> shift) + 1)
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS as u64, MAX_BUCKETS as u64);
+        let mut q = Self::with_geometry(shift, window as usize);
+        // Pre-grow each bucket slab past any plausible occupancy spike
+        // (bucket width ≈ mean gap ⇒ O(1) events each), so steady-state
+        // scheduling never reallocates.
+        for b in &mut q.buckets {
+            b.reserve(8);
+        }
+        q
+    }
+
+    fn with_geometry(shift: u32, n_buckets: usize) -> Self {
+        debug_assert!(n_buckets.is_power_of_two());
         EventQueue {
-            heap: BinaryHeap::new(),
+            buckets: (0..n_buckets).map(|_| Vec::new()).collect(),
+            mask: n_buckets as u64 - 1,
+            shift,
+            cursor: 0,
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -69,7 +137,154 @@ impl<E> EventQueue<E> {
     ///
     /// # Panics
     /// Panics if `time` is in the past — schedulers must not time-travel;
-    /// doing so indicates a simulation bug.
+    /// doing so indicates a simulation bug. Scheduling at exactly `now`
+    /// is accepted.
+    pub fn schedule(&mut self, time: SimTime, payload: E) {
+        assert!(time >= self.now, "scheduling into the past: {time} < {}", self.now);
+        let entry = Entry {
+            time,
+            seq: self.next_seq,
+            payload,
+        };
+        self.next_seq += 1;
+        let abs = time.as_nanos() >> self.shift;
+        let window = self.buckets.len() as u64;
+        if abs < self.cursor.saturating_add(window) {
+            // In (or before) the window. `abs < cursor` can happen for an
+            // event at `now` inside a bucket the cursor already left —
+            // stash it at the frontier; correctness holds because every
+            // other bucket only has events at later bucket indices.
+            let slot = (abs.max(self.cursor) & self.mask) as usize;
+            self.buckets[slot].push(entry);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(entry);
+        }
+    }
+
+    /// Advances the cursor to the first non-empty bucket (pulling
+    /// overflow events into the window as it goes) and returns its slot,
+    /// or `None` when the queue is empty.
+    fn frontier_bucket(&mut self) -> Option<usize> {
+        if self.wheel_len == 0 && self.overflow.is_empty() {
+            return None;
+        }
+        loop {
+            if self.wheel_len == 0 {
+                // Wheel drained: jump the window straight to the earliest
+                // overflow event instead of stepping empty buckets.
+                let top = self.overflow.peek().expect("overflow non-empty");
+                let abs = top.time.as_nanos() >> self.shift;
+                self.cursor = self.cursor.max(abs);
+                self.migrate_overflow();
+                continue;
+            }
+            let slot = (self.cursor & self.mask) as usize;
+            if self.buckets[slot].is_empty() {
+                self.cursor += 1;
+                if !self.overflow.is_empty() {
+                    self.migrate_overflow();
+                }
+                continue;
+            }
+            return Some(slot);
+        }
+    }
+
+    /// Moves overflow events that now fall inside the window onto the
+    /// wheel.
+    fn migrate_overflow(&mut self) {
+        let window = self.buckets.len() as u64;
+        while let Some(top) = self.overflow.peek() {
+            let abs = top.time.as_nanos() >> self.shift;
+            if abs >= self.cursor.saturating_add(window) {
+                break;
+            }
+            let entry = self.overflow.pop().expect("peeked entry");
+            let slot = (abs.max(self.cursor) & self.mask) as usize;
+            self.buckets[slot].push(entry);
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Index of the minimum (time, seq) entry within a bucket.
+    fn min_in_bucket(bucket: &[Entry<E>]) -> usize {
+        let mut min = 0;
+        for (i, e) in bucket.iter().enumerate().skip(1) {
+            if (e.time, e.seq) < (bucket[min].time, bucket[min].seq) {
+                min = i;
+            }
+        }
+        min
+    }
+
+    /// Pops the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let slot = self.frontier_bucket()?;
+        let bucket = &mut self.buckets[slot];
+        let idx = Self::min_in_bucket(bucket);
+        let entry = bucket.swap_remove(idx);
+        self.wheel_len -= 1;
+        DES_EVENTS.inc();
+        self.now = entry.time;
+        Some((entry.time, entry.payload))
+    }
+
+    /// The time of the next event without popping it. Takes `&mut self`
+    /// because locating the frontier may advance the wheel cursor (the
+    /// observable state — `now`, pending events — is untouched).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        let slot = self.frontier_bucket()?;
+        let bucket = &self.buckets[slot];
+        Some(bucket[Self::min_in_bucket(bucket)].time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.wheel_len + self.overflow.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The pre-wheel `BinaryHeap` event queue, kept as the reference
+/// implementation for the calendar-queue property tests and the
+/// wheel-vs-heap bench ablation arm. Same API and semantics as
+/// [`EventQueue`] (minus the geometry constructors).
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for HeapQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` at `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is in the past.
     pub fn schedule(&mut self, time: SimTime, payload: E) {
         assert!(time >= self.now, "scheduling into the past: {time} < {}", self.now);
         self.heap.push(Entry {
@@ -83,7 +298,6 @@ impl<E> EventQueue<E> {
     /// Pops the earliest event, advancing the clock to it.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let entry = self.heap.pop()?;
-        DES_EVENTS.inc();
         self.now = entry.time;
         Some((entry.time, entry.payload))
     }
@@ -150,5 +364,69 @@ mod tests {
         q.schedule(SimTime::from_nanos(10), ());
         q.pop();
         q.schedule(SimTime::from_nanos(5), ());
+    }
+
+    #[test]
+    fn scheduling_at_exactly_now_is_accepted() {
+        // The past-scheduling panic is a strict inequality: an event at
+        // exactly `now` (same-instant reaction) must be accepted by the
+        // wheel path even though its bucket may sit behind the cursor.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), "first");
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "first")));
+        q.schedule(SimTime::from_nanos(10), "again");
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), "again")));
+        assert_eq!(q.now(), SimTime::from_nanos(10));
+    }
+
+    #[test]
+    fn far_future_events_route_through_overflow() {
+        // Default window ≈ 1 ms; an event 10 s out must sit in the
+        // overflow rung and still pop in order.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs_f64(10.0), "far");
+        q.schedule(SimTime::from_nanos(100), "near");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_keeps_global_order() {
+        // Wheel vs heap on an interleaved workload spanning bucket
+        // boundaries and the overflow rung.
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        let times: Vec<u64> = (0..200)
+            .map(|i: u64| (i * 7919) % 3_000_000 + 1)
+            .collect();
+        for (i, &t) in times.iter().enumerate() {
+            wheel.schedule(SimTime::from_nanos(t), i);
+            heap.schedule(SimTime::from_nanos(t), i);
+            if i % 3 == 2 {
+                assert_eq!(wheel.pop(), heap.pop());
+            }
+        }
+        while let Some(expected) = heap.pop() {
+            assert_eq!(wheel.pop(), Some(expected));
+        }
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn with_profile_sizes_buckets_from_rate() {
+        // 10⁵ events/s → 10 µs mean gap → 16 384 ns buckets; 1 ms horizon
+        // → 64 buckets. The geometry is an internal detail, but the
+        // queue must behave identically.
+        let mut q = EventQueue::with_profile(1e5, Duration::from_millis(1));
+        assert_eq!(q.shift, 14);
+        assert_eq!(q.buckets.len(), 64);
+        for i in (0..50u64).rev() {
+            q.schedule(SimTime::from_nanos(i * 10_000), i);
+        }
+        for i in 0..50 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
     }
 }

@@ -53,11 +53,38 @@ impl EprSource {
         Duration::from_secs_f64(1.0 / self.rate_hz)
     }
 
-    /// Samples the (exponential) gap to the next emission.
-    pub fn sample_interval<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+    /// Samples the (exponential) gap to the next emission, in integer
+    /// nanoseconds. This is the primitive the batched emission plane
+    /// accumulates: summing integer-ns gaps cannot drift the way the old
+    /// f64 → `Duration` round-trip did (every `from_secs_f64` truncated
+    /// sub-ns mass, biasing long runs slow relative to the analytic rate).
+    /// Gaps round to nearest and clamp to ≥ 1 ns so event time always
+    /// advances.
+    pub fn sample_interval_ns<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         // Inverse-CDF sampling; guard the log against u = 0.
         let u: f64 = rng.gen::<f64>().max(1e-300);
-        Duration::from_secs_f64(-u.ln() / self.rate_hz)
+        secs_to_ns(-u.ln() / self.rate_hz)
+    }
+
+    /// Samples the (exponential) gap to the next emission.
+    pub fn sample_interval<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        Duration::from_nanos(self.sample_interval_ns(rng))
+    }
+
+    /// Samples the gap to the next *surviving* emission when each photon
+    /// pair independently survives with probability `keep`: thinning a
+    /// Poisson(`rate`) process Bernoulli(`keep`)-wise yields exactly a
+    /// Poisson(`keep · rate`) process, so the gap is one exponential draw
+    /// at the reduced rate. Combined with [`geometric_skip`] for the loss
+    /// tally, a whole inter-survivor block of emissions costs two draws
+    /// instead of one-plus-two per photon.
+    ///
+    /// # Panics
+    /// Debug-asserts `keep ∈ (0, 1]`.
+    pub fn survivor_gap_ns<R: Rng + ?Sized>(&self, keep: f64, rng: &mut R) -> u64 {
+        debug_assert!(keep > 0.0 && keep <= 1.0, "bad keep probability {keep}");
+        let u: f64 = rng.gen::<f64>().max(1e-300);
+        secs_to_ns(-u.ln() / (self.rate_hz * keep))
     }
 
     /// The next emission instant after `now`.
@@ -90,6 +117,26 @@ impl EprSource {
             SharedPair::werner(self.visibility)
         }
     }
+}
+
+/// Converts a gap in seconds to integer nanoseconds (round-to-nearest,
+/// clamped to ≥ 1 ns so simulated time strictly advances).
+fn secs_to_ns(secs: f64) -> u64 {
+    ((secs * 1e9).round() as u64).max(1)
+}
+
+/// Number of *lost* photon pairs preceding the next survivor when each
+/// pair survives independently with probability `survival`: the count is
+/// geometric, sampled in one draw by inverting its CDF
+/// (`failures = ⌊ln u / ln(1 − survival)⌋`). Draws nothing at
+/// `survival ≥ 1` — lossless links consume no loss randomness.
+pub fn geometric_skip<R: Rng + ?Sized>(survival: f64, rng: &mut R) -> u64 {
+    debug_assert!(survival > 0.0, "survivor cannot exist at zero survival");
+    if survival >= 1.0 {
+        return 0;
+    }
+    let u: f64 = rng.gen::<f64>().max(1e-300);
+    (u.ln() / (1.0 - survival).ln()) as u64
 }
 
 #[cfg(test)]
@@ -163,5 +210,53 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn zero_rate_panics() {
         EprSource::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn integer_ns_accumulation_stays_on_rate() {
+        // Regression for the f64 → Duration round-trip truncation: count
+        // ~10⁶ emissions at 10⁵ pairs/s by accumulating integer-ns gaps
+        // over a 10 s horizon, and require the count to sit inside the
+        // Wilson interval of the per-ns emission probability. The old
+        // truncating path biased every gap short by up to 1 ns, which at
+        // ~10⁴ ns mean gaps drifts the count visibly over 10⁶ events.
+        let s = EprSource::new(1e5, 1.0);
+        let mut rng = StdRng::seed_from_u64(0xACC);
+        let horizon_ns: u64 = 10_000_000_000; // 10 s ⇒ E[count] = 10⁶
+        let mut t_ns = 0u64;
+        let mut count = 0u64;
+        loop {
+            t_ns += s.sample_interval_ns(&mut rng);
+            if t_ns > horizon_ns {
+                break;
+            }
+            count += 1;
+        }
+        // Poisson(λT) ≈ Binomial(T_ns trials, rate·1e-9 per ns).
+        qmath::assert_prob_in!(count, horizon_ns, 1e-4, conf = 0.999);
+    }
+
+    #[test]
+    fn survivor_gaps_match_thinned_rate() {
+        // Thinned process: survivors of p = 0.1 at 10⁶ pairs/s must arrive
+        // at 10⁵/s on average.
+        let s = EprSource::new(1e6, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let total_ns: u64 = (0..n).map(|_| s.survivor_gap_ns(0.1, &mut rng)).sum();
+        let mean = total_ns as f64 / n as f64;
+        assert!((mean - 1e4).abs() < 500.0, "mean survivor gap {mean} ns");
+    }
+
+    #[test]
+    fn geometric_skip_counts_losses_exactly() {
+        // E[failures] = (1-p)/p; at p = 0.25 that is 3 lost per survivor.
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 50_000u64;
+        let total: u64 = (0..n).map(|_| geometric_skip(0.25, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean losses {mean}");
+        // Lossless links draw nothing and skip nothing.
+        assert_eq!(geometric_skip(1.0, &mut rng), 0);
     }
 }

@@ -263,6 +263,10 @@ struct FaultEdge {
 /// brownouts and spikes multiply, clamps take the minimum.
 pub struct FaultClock {
     queue: EventQueue<FaultEdge>,
+    /// Cached [`EventQueue::peek_time`] of `queue` — peeking the calendar
+    /// wheel needs `&mut`, and the distributor polls the next edge on its
+    /// hot path, so the clock keeps it as a plain field.
+    next_edge: Option<SimTime>,
     active: Vec<FaultKind>,
     state: FaultState,
     transitions: u64,
@@ -277,8 +281,10 @@ impl FaultClock {
             queue.schedule(w.start, FaultEdge { on: true, kind: w.kind });
             queue.schedule(w.end, FaultEdge { on: false, kind: w.kind });
         }
+        let next_edge = queue.peek_time();
         FaultClock {
             queue,
+            next_edge,
             active: Vec::new(),
             state: FaultState::NOMINAL,
             transitions: 0,
@@ -287,15 +293,16 @@ impl FaultClock {
 
     /// The time of the next pending on/off edge.
     pub fn next_transition(&self) -> Option<SimTime> {
-        self.queue.peek_time()
+        self.next_edge
     }
 
     /// Processes every edge scheduled at or before `now`. Returns true
     /// if the state may have changed.
     pub fn advance_through(&mut self, now: SimTime) -> bool {
         let mut changed = false;
-        while self.queue.peek_time().is_some_and(|t| t <= now) {
+        while self.next_edge.is_some_and(|t| t <= now) {
             let (_, edge) = self.queue.pop().expect("peeked an event");
+            self.next_edge = self.queue.peek_time();
             if edge.on {
                 self.active.push(edge.kind);
             } else if let Some(pos) = self.active.iter().position(|k| *k == edge.kind) {

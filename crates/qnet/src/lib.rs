@@ -36,8 +36,10 @@ pub mod swap;
 pub mod time;
 pub mod timing;
 
-pub use des::EventQueue;
-pub use distributor::{ConsumePolicy, DistributorConfig, DistributorStats, EntanglementDistributor};
+pub use des::{EventQueue, HeapQueue};
+pub use distributor::{
+    ConsumePolicy, DistributorConfig, DistributorStats, EmissionMode, EntanglementDistributor,
+};
 pub use epr::EprSource;
 pub use faults::{FaultClock, FaultKind, FaultPlan, FaultState, FaultWindow, LinkSide};
 pub use link::FiberLink;

@@ -198,6 +198,16 @@ impl Qnic {
         KrausChannel::storage_decay(held, self.lifetime.as_secs_f64() * self.lifetime_scale)
             .expect("held ≥ 0 and lifetime > 0 by construction")
     }
+
+    /// The coherence retention `d = exp(−held/τ)` of a qubit consumed at
+    /// `now` — the closed-form equivalent of [`Self::decay_channel`]
+    /// (`storage_decay` picks its Kraus probability so the off-diagonal
+    /// scale factor `1 − 2p` equals exactly this `d`). Used by the
+    /// [`qsim::werner::WernerPair`] measurement kernel.
+    pub fn retention(&self, arrival: SimTime, now: SimTime) -> f64 {
+        let held = now.duration_since(arrival).as_secs_f64();
+        (-held / (self.lifetime.as_secs_f64() * self.lifetime_scale)).exp()
+    }
 }
 
 #[cfg(test)]
@@ -312,6 +322,27 @@ mod tests {
         assert_eq!(n.effective_capacity(), 1);
         assert_eq!(evicted.len(), 1);
         assert_eq!(n.len(), 1);
+    }
+
+    #[test]
+    fn retention_matches_decay_channel_coherence_scale() {
+        // `retention` must be the exact off-diagonal scale factor of
+        // `decay_channel`: apply the channel to |Φ⁺⟩ and compare the
+        // surviving |00⟩⟨11| coherence against d/2.
+        let mut n = nic();
+        for (held_us, scale) in [(0u64, 1.0), (50, 1.0), (100, 0.25), (250, 0.5)] {
+            n.set_lifetime_scale(scale);
+            let now = SimTime::from_micros(held_us);
+            let rho = DensityMatrix::from_pure(&bell::phi_plus());
+            let out = n.decay_channel(SimTime::ZERO, now).apply(&rho, 0).unwrap();
+            let coherence = out.matrix().row(0)[3].re;
+            let d = n.retention(SimTime::ZERO, now);
+            assert!(
+                (coherence - d / 2.0).abs() < 1e-12,
+                "held {held_us}µs scale {scale}: coherence {coherence} vs d/2 {}",
+                d / 2.0
+            );
+        }
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Property-based invariants of the networking substrate.
 
 use proptest::prelude::*;
-use qnet::{ConsumePolicy, DistributorConfig, EntanglementDistributor, EprSource, EventQueue, FiberLink, SimTime};
+use qnet::{
+    ConsumePolicy, DistributorConfig, EntanglementDistributor, EprSource, EventQueue, FiberLink,
+    HeapQueue, SimTime,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
@@ -24,6 +27,48 @@ proptest! {
             count += 1;
         }
         prop_assert_eq!(count, times.len());
+    }
+
+    /// The calendar wheel agrees with the reference binary heap on any
+    /// interleaving of schedules and pops: events come out in identical
+    /// (time, seq) order, including ties (FIFO within a tick), events
+    /// landing in the far-future overflow rung, and schedules issued at
+    /// exactly the current frontier.
+    #[test]
+    fn calendar_wheel_matches_heap_reference(
+        ops in proptest::collection::vec(
+            // (gap from the running maximum already popped, pop_after)
+            (0u64..3_000_000, any::<bool>()), 1..96)
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        let mut popped_w = Vec::new();
+        let mut popped_h = Vec::new();
+        let mut frontier = 0u64;
+        for (i, &(gap, pop_after)) in ops.iter().enumerate() {
+            // Never schedule into the past of either queue: offsets are
+            // relative to the latest popped timestamp.
+            let t = SimTime::from_nanos(frontier + gap);
+            wheel.schedule(t, i);
+            heap.schedule(t, i);
+            if pop_after {
+                let w = wheel.pop();
+                let h = heap.pop();
+                prop_assert_eq!(w, h);
+                if let Some((t, id)) = w {
+                    frontier = frontier.max(t.as_nanos());
+                    popped_w.push((t, id));
+                    popped_h.push(h.unwrap());
+                }
+            }
+        }
+        while let Some(w) = wheel.pop() {
+            popped_w.push(w);
+            popped_h.push(heap.pop().expect("heap has the same events"));
+        }
+        prop_assert!(heap.pop().is_none());
+        prop_assert_eq!(popped_w.len(), ops.len());
+        prop_assert_eq!(popped_w, popped_h);
     }
 
     /// Fiber survival probability is monotone decreasing in length and
@@ -56,13 +101,14 @@ proptest! {
             max_age: Duration::from_micros(120),
             consume_policy: ConsumePolicy::FreshestFirst,
             faults: qnet::FaultPlan::none(),
+            emission: qnet::EmissionMode::Batched,
         };
         let mut rng = StdRng::seed_from_u64(seed);
         let mut d = EntanglementDistributor::new(config, &mut rng);
         let mut now = SimTime::ZERO;
         for _ in 0..n_takes {
             now += Duration::from_micros(15);
-            let _ = d.take_pair(now, &mut rng);
+            let _ = d.take_pair(now);
         }
         let s = d.stats();
         prop_assert!(s.lost_in_fiber <= s.emitted);
@@ -81,7 +127,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         for _ in 0..10 {
             now += Duration::from_micros(50);
-            if let Some(mut pair) = d.take_pair(now, &mut rng) {
+            if let Some(mut pair) = d.take_pair(now) {
                 // Both halves measurable exactly once.
                 let a = pair.measure_angle(qsim::Party::A, 0.3, &mut rng);
                 let b = pair.measure_angle(qsim::Party::B, 1.1, &mut rng);

@@ -40,6 +40,7 @@ pub mod noise;
 pub mod pair;
 pub mod state;
 pub mod tomography;
+pub mod werner;
 
 pub use circuit::Circuit;
 pub use density::DensityMatrix;
@@ -49,6 +50,7 @@ pub use measure::{measure_in_angle_basis, measure_in_basis, Basis1};
 pub use noise::KrausChannel;
 pub use pair::{Party, SharedPair, SharedState};
 pub use state::StateVector;
+pub use werner::WernerPair;
 
 /// Numerical tolerance for state validity checks (normalization, trace).
 pub const EPS: f64 = 1e-9;
