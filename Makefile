@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test clippy bench-compile bench-sweep bench-xor bench-plane repro-quick test-stat
+.PHONY: ci build test clippy bench-compile bench-sweep bench-xor bench-plane bench-scale repro-quick test-stat
 
 ci: build test clippy bench-compile repro-quick
 
@@ -36,6 +36,12 @@ bench-xor:
 # binary heap — the DESIGN.md §5 batched-plane rows.
 bench-plane:
 	$(CARGO) bench -p qnlg-bench --bench plane
+
+# Sharded-SoA load-balance engine ablation: frozen AoS loop vs SoA
+# single-shard vs sharded (data layout vs parallel machinery), plus the
+# obs on/off overhead arm — the DESIGN.md §5 fig4-scale rows.
+bench-scale:
+	$(CARGO) bench -p qnlg-bench --bench scale
 
 # Statistical acceptance tests with their sample-size/confidence
 # accounting printed (every stochastic assertion states its n and

@@ -27,6 +27,7 @@
 //! | fig4-scaling     | E2b: N-independence at fixed N/M                 |
 //! | fig4-disciplines | E2c: footnote-2 robustness                       |
 //! | fig4-faults      | E-faults: fault injection + graceful degradation |
+//! | fig4-scale       | E2d: Figure 4 at production scale (10⁶ servers)  |
 //! | ecmp             | §4.2 reduction + conjecture search (E4)          |
 //! | timing           | Figure 2: decision latency (E5)                  |
 //! | noise            | §3 error margins: visibility/storage (E6)        |

@@ -9,6 +9,7 @@ pub mod fig4;
 pub mod hybrid_exp;
 pub mod noise_exp;
 pub mod pipeline_exp;
+pub mod scale_exp;
 pub mod timing_exp;
 
 /// All experiment names, in the order `repro all` runs them.
@@ -20,6 +21,7 @@ pub const ALL: &[&str] = &[
     "fig4-scaling",
     "fig4-disciplines",
     "fig4-faults",
+    "fig4-scale",
     "ecmp",
     "timing",
     "noise",
@@ -37,6 +39,7 @@ pub fn run(name: &str, quick: bool) -> Option<crate::Report> {
         "fig4-scaling" => fig4::run_scaling(quick),
         "fig4-disciplines" => fig4::run_disciplines(quick),
         "fig4-faults" => faults_exp::run(quick),
+        "fig4-scale" => scale_exp::run(quick),
         "ecmp" => ecmp_exp::run(quick),
         "timing" => timing_exp::run(quick),
         "noise" => noise_exp::run(quick),

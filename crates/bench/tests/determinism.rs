@@ -163,6 +163,81 @@ fn pipeline_batched_plane_is_deterministic() {
     );
 }
 
+/// The sharded SoA engine end-to-end: the fig4-scale quick artifact
+/// (per-point perf pinned to null) must be byte-identical across worker
+/// counts, and a raw engine run must be byte-identical across shard
+/// counts and obs on/off. This is the determinism guarantee for the
+/// per-pair sub-stream design: partition and scheduling decide who
+/// computes a draw, never its value.
+#[test]
+fn fig4_scale_quick_artifact_is_shard_thread_and_obs_invariant() {
+    let sequential = qnlg_bench::experiments::scale_exp::run_full(1, true, false);
+    let reference_text = format!("{sequential}");
+    let reference_json = canonical_json(&sequential);
+    for threads in [2, 4] {
+        let report = qnlg_bench::experiments::scale_exp::run_full(threads, true, false);
+        assert_eq!(
+            format!("{report}"),
+            reference_text,
+            "{threads} workers changed the text report"
+        );
+        assert_eq!(
+            canonical_json(&report),
+            reference_json,
+            "{threads} workers changed the JSON artifact"
+        );
+    }
+
+    // Raw engine: shard-count sweep at several worker counts, plus obs
+    // toggling, all compared against the single-shard sequential run.
+    use loadbalance::server::Discipline;
+    use loadbalance::shard::{run_scaled, ScaleConfig, ScaleStrategy};
+    use loadbalance::sim::SimConfig;
+    use loadbalance::task::ArrivalModel;
+    let mut cfg = ScaleConfig::new(
+        SimConfig {
+            n_balancers: 120,
+            n_servers: 100,
+            timesteps: 300,
+            warmup: 75,
+            discipline: Discipline::PaperPairedC,
+        },
+        ArrivalModel::paper(),
+    );
+    cfg.shards = 1;
+    cfg.threads = 1;
+    let reference = format!(
+        "{:?}",
+        run_scaled(&cfg, ScaleStrategy::quantum_ideal(), 0xfa57).unwrap()
+    );
+    for shards in [1, 4, 16] {
+        for threads in [1, 2, 4] {
+            cfg.shards = shards;
+            cfg.threads = threads;
+            let r = format!(
+                "{:?}",
+                run_scaled(&cfg, ScaleStrategy::quantum_ideal(), 0xfa57).unwrap()
+            );
+            assert_eq!(r, reference, "shards={shards} threads={threads} diverged");
+        }
+    }
+    obs::reset();
+    obs::set_enabled(true);
+    cfg.shards = 4;
+    cfg.threads = 2;
+    let observed = format!(
+        "{:?}",
+        run_scaled(&cfg, ScaleStrategy::quantum_ideal(), 0xfa57).unwrap()
+    );
+    let snap = obs::snapshot();
+    obs::set_enabled(false);
+    assert_eq!(observed, reference, "enabling obs changed the result");
+    assert!(
+        snap.counter("lb.tasks.assigned").unwrap_or(0) > 0,
+        "instrumented scale run must record assigned tasks"
+    );
+}
+
 /// The JSON artifact line for fig4 must validate against the schema and
 /// carry the fields the acceptance criteria promise: seed, thread count,
 /// per-point SimResult fields, and Wilson intervals.

@@ -1,0 +1,166 @@
+//! The frozen array-of-structs Figure 4 loop.
+//!
+//! This is the pre-shard simulation loop, kept verbatim as (a) the
+//! determinism oracle — [`crate::sim::run_simulation`] must stay
+//! bit-identical to it for any `(config, strategy, workload, seed)` — and
+//! (b) the baseline arm of the `benches/scale.rs` AoS-vs-SoA ablation.
+//! It advances a `Vec<Server>` one timestep at a time, allocating a fresh
+//! serve-index vector per server per step, exactly as the seed
+//! implementation did.
+//!
+//! It records no obs metrics: it exists for tests and benches, where
+//! counting its work alongside the production path's would double-book
+//! every artifact counter.
+
+use crate::error::SimError;
+use crate::metrics::{SimResult, WaitReservoir, WAIT_RESERVOIR_SEED};
+use crate::server::Server;
+use crate::sim::{SimConfig, QUEUE_SERIES_WINDOWS};
+use crate::strategy::Strategy;
+use crate::task::{Task, TaskType, Workload};
+use rand::Rng;
+
+/// Runs one simulation on the frozen AoS loop. Same contract as
+/// [`crate::sim::try_run_simulation`]; the result must be equal, field
+/// for field — `tests/parity.rs` holds that line.
+pub fn run_simulation_aos<W, R>(
+    config: SimConfig,
+    strategy: Strategy,
+    workload: &mut W,
+    rng: &mut R,
+) -> Result<SimResult, SimError>
+where
+    W: Workload + ?Sized,
+    R: Rng,
+{
+    config.validate()?;
+    let mut strat = strategy.build(config.n_servers);
+    let mut servers: Vec<Server> = (0..config.n_servers)
+        .map(|i| Server::with_id(config.discipline, i as u64))
+        .collect();
+    let paired = strat.name().starts_with("paired");
+
+    let total_steps = config.warmup + config.timesteps;
+    let mut queue_len_sum = 0u64;
+    let mut max_queue = 0usize;
+    let mut generated = 0u64;
+    let mut served_before_window = 0u64;
+    let mut wait_before_window = 0u64;
+
+    let mut cc_rounds = 0u64;
+    let mut cc_colocated = 0u64;
+    let mut other_rounds = 0u64;
+    let mut other_split = 0u64;
+
+    let mut tasks: Vec<TaskType> = Vec::with_capacity(config.n_balancers);
+    let mut queue_lens: Vec<usize> = vec![0; config.n_servers];
+
+    let windows = QUEUE_SERIES_WINDOWS.min(config.timesteps as usize);
+    let mut win_queue_sum = vec![0u64; windows];
+    let mut win_samples = vec![0u64; windows];
+
+    for t in 0..total_steps {
+        if t == config.warmup {
+            served_before_window = servers.iter().map(|s| s.served).sum();
+            wait_before_window = servers.iter().map(|s| s.total_wait).sum();
+            for s in servers.iter_mut() {
+                s.waits.clear();
+            }
+        }
+        workload.on_step(t);
+        tasks.clear();
+        for _ in 0..config.n_balancers {
+            tasks.push(workload.next_task(rng));
+        }
+        for (len, s) in queue_lens.iter_mut().zip(&servers) {
+            *len = s.queue_len();
+        }
+        let assignment = strat.assign_all(&tasks, &queue_lens, rng);
+
+        for (i, &srv) in assignment.iter().enumerate() {
+            servers[srv].enqueue(Task {
+                ty: tasks[i],
+                enqueued_at: t,
+            });
+        }
+        for s in servers.iter_mut() {
+            s.step(t);
+        }
+
+        if t >= config.warmup {
+            generated += config.n_balancers as u64;
+            let mut step_total = 0u64;
+            for s in &servers {
+                let q = s.queue_len();
+                queue_len_sum += q as u64;
+                step_total += q as u64;
+                max_queue = max_queue.max(q);
+            }
+            let w = ((t - config.warmup) as usize * windows) / config.timesteps as usize;
+            win_queue_sum[w] += step_total;
+            win_samples[w] += config.n_servers as u64;
+            if paired {
+                let mut i = 0;
+                while i + 1 < tasks.len() {
+                    let both_c = tasks[i].is_colocate() && tasks[i + 1].is_colocate();
+                    let same = assignment[i] == assignment[i + 1];
+                    if both_c {
+                        cc_rounds += 1;
+                        cc_colocated += u64::from(same);
+                    } else {
+                        other_rounds += 1;
+                        other_split += u64::from(!same);
+                    }
+                    i += 2;
+                }
+            }
+        }
+    }
+
+    let mut waits = WaitReservoir::new(WAIT_RESERVOIR_SEED);
+    for s in &servers {
+        waits.merge(&s.waits);
+    }
+    let wait_samples = waits.sorted_waits();
+    let served: u64 = servers.iter().map(|s| s.served).sum::<u64>() - served_before_window;
+    let total_wait: u64 = servers.iter().map(|s| s.total_wait).sum::<u64>() - wait_before_window;
+    let samples = config.timesteps * config.n_servers as u64;
+
+    let queue_len_series: Vec<f64> = win_queue_sum
+        .iter()
+        .zip(&win_samples)
+        .filter(|(_, &n)| n > 0)
+        .map(|(&s, &n)| s as f64 / n as f64)
+        .collect();
+
+    Ok(SimResult {
+        strategy: strat.name(),
+        load: config.load(),
+        avg_queue_len: queue_len_sum as f64 / samples as f64,
+        avg_wait: if served > 0 {
+            total_wait as f64 / served as f64
+        } else {
+            f64::NAN
+        },
+        p50_wait: crate::metrics::percentile(&wait_samples, 0.5),
+        p99_wait: crate::metrics::percentile(&wait_samples, 0.99),
+        max_queue_len: max_queue,
+        served,
+        generated,
+        cc_colocation_rate: if cc_rounds > 0 {
+            cc_colocated as f64 / cc_rounds as f64
+        } else {
+            f64::NAN
+        },
+        split_rate: if other_rounds > 0 {
+            other_split as f64 / other_rounds as f64
+        } else {
+            f64::NAN
+        },
+        cc_rounds,
+        cc_colocated,
+        other_rounds,
+        other_split,
+        queue_len_series,
+    })
+}

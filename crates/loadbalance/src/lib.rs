@@ -23,25 +23,40 @@
 //!   power-of-two-choices, classical pairings, dedicated-server hybrid,
 //!   and the quantum CHSH pairing (with exact-simulation and fast
 //!   closed-form sampling modes, plus finite pair availability).
-//! - [`sim`]: the timestep loop of Figure 4.
-//! - [`metrics`]: queue-length and waiting-time statistics.
+//! - [`sim`]: the timestep loop of Figure 4 (compatibility path: any
+//!   strategy, caller-supplied RNG, bit-stable historical trajectories).
+//! - [`shard`]: the sharded, structure-of-arrays, batch-advanced engine
+//!   for production-scale runs (1e6 servers), byte-identical at any
+//!   worker/shard count.
+//! - [`aos`]: the frozen pre-shard array-of-structs loop, kept as the
+//!   determinism oracle and the ablation baseline for `benches/scale.rs`.
+//! - [`metrics`]: queue-length and waiting-time statistics, including the
+//!   bounded deterministic wait reservoir.
+//! - [`error`]: typed configuration/engine errors.
 //! - [`degrade`]: graceful degradation — a hysteretic governor that
 //!   watches pair delivery and falls back from quantum CHSH to classical
 //!   coordination (and recovers) as the entanglement plane faults and
 //!   heals.
 
+pub mod aos;
 pub mod degrade;
+pub mod error;
 pub mod metrics;
 pub mod pipeline;
 pub mod server;
+pub mod shard;
 pub mod sim;
 pub mod strategy;
 pub mod task;
 
 pub use degrade::{CoordinationMode, Degrading, FallbackGovernor, HysteresisConfig};
-pub use metrics::SimResult;
+pub use error::SimError;
+pub use metrics::{SimResult, WaitReservoir};
 pub use server::{Discipline, Server};
 pub use pipeline::PipelinePairedQuantum;
-pub use sim::{run_simulation, run_simulation_with, SimConfig};
+pub use shard::{run_scaled, ScaleConfig, ScaleStrategy};
+pub use sim::{
+    run_simulation, run_simulation_with, try_run_simulation, try_run_simulation_with, SimConfig,
+};
 pub use strategy::{AssignmentStrategy, PairDecision, QuantumMode, Strategy};
-pub use task::{Task, TaskType, Workload};
+pub use task::{ArrivalModel, Task, TaskType, Workload};

@@ -1,5 +1,158 @@
 //! Simulation metrics.
 
+use runtime::mix64;
+use std::collections::BinaryHeap;
+
+/// Default capacity of [`WaitReservoir`]: enough for exact percentiles on
+/// every unit-test-sized run, and a 256 KiB ceiling per simulation at
+/// scale (vs. the old unbounded `wait_samples`, which was
+/// O(timesteps × servers) and made 1e6-server runs impossible).
+pub const WAIT_RESERVOIR_CAP: usize = 8192;
+
+/// Seed used by the compatibility simulation path. It must be a constant
+/// there — drawing it from the caller's generator would shift every
+/// subsequent draw and break bit-compatibility with the historical
+/// `run_simulation` trajectory. The sharded engine derives its reservoir
+/// seed from the run's master stream instead.
+pub const WAIT_RESERVOIR_SEED: u64 = 0x5eed_4a17_5a3b_1e55;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct ResEntry {
+    /// Hash priority; smallest `cap` entries are kept. Derived comparison
+    /// order (pri, then server, then seq) is total, so survivorship never
+    /// depends on insertion order.
+    pri: u64,
+    server: u64,
+    seq: u64,
+    wait: u64,
+}
+
+/// Deterministic fixed-size wait-sample reservoir.
+///
+/// Each sample is identified by `(server, seq)` — the serving server and
+/// that server's completion counter — and given the hash priority
+/// `mix64(seed ^ mix64(server · φ64 + seq))`. The reservoir keeps the
+/// `cap` samples with the *smallest* priorities (a max-heap of survivors).
+/// Because priority is a pure function of identity and seed, the surviving
+/// set is independent of both insertion order and of how samples were
+/// partitioned first: merging per-shard reservoirs and re-taking the
+/// bottom-`cap` yields exactly the global reservoir, since the global
+/// bottom-`cap` of the union is always contained in the union of the
+/// per-shard bottom-`cap`s. That is what keeps p50/p99 byte-identical at
+/// any worker or shard count.
+///
+/// When fewer than `cap` samples were offered the reservoir holds all of
+/// them and percentiles are exact; a unit test pins this against the
+/// exact computation.
+#[derive(Debug, Clone)]
+pub struct WaitReservoir {
+    seed: u64,
+    cap: usize,
+    /// Max-heap of survivors: the root is the first entry to evict.
+    heap: BinaryHeap<ResEntry>,
+    /// Total samples offered (≥ `heap.len()`).
+    seen: u64,
+}
+
+impl WaitReservoir {
+    /// Reservoir with the default capacity ([`WAIT_RESERVOIR_CAP`]).
+    pub fn new(seed: u64) -> Self {
+        Self::with_capacity(seed, WAIT_RESERVOIR_CAP)
+    }
+
+    /// Reservoir with an explicit capacity (tests use tiny ones).
+    pub fn with_capacity(seed: u64, cap: usize) -> Self {
+        assert!(cap > 0, "reservoir capacity must be positive");
+        WaitReservoir {
+            seed,
+            cap,
+            heap: BinaryHeap::with_capacity(cap + 1),
+            seen: 0,
+        }
+    }
+
+    #[inline]
+    fn priority(&self, server: u64, seq: u64) -> u64 {
+        mix64(
+            self.seed
+                ^ mix64(
+                    server
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add(seq),
+                ),
+        )
+    }
+
+    /// Offers the wait of completion number `seq` on `server`.
+    #[inline]
+    pub fn offer(&mut self, server: u64, seq: u64, wait: u64) {
+        self.seen += 1;
+        let entry = ResEntry {
+            pri: self.priority(server, seq),
+            server,
+            seq,
+            wait,
+        };
+        if self.heap.len() < self.cap {
+            self.heap.push(entry);
+        } else if entry < *self.heap.peek().expect("non-empty at cap") {
+            self.heap.pop();
+            self.heap.push(entry);
+        }
+    }
+
+    /// Merges another reservoir (same seed and capacity) into this one,
+    /// re-taking the bottom-`cap` of the union.
+    pub fn merge(&mut self, other: &WaitReservoir) {
+        assert_eq!(self.seed, other.seed, "reservoir seeds must match");
+        assert_eq!(self.cap, other.cap, "reservoir capacities must match");
+        self.seen += other.seen;
+        for &entry in other.heap.iter() {
+            if self.heap.len() < self.cap {
+                self.heap.push(entry);
+            } else if entry < *self.heap.peek().expect("non-empty at cap") {
+                self.heap.pop();
+                self.heap.push(entry);
+            }
+        }
+    }
+
+    /// Drops all samples (measurement-window reset). Seed and capacity
+    /// are retained.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.seen = 0;
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no samples are held.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total samples offered since the last clear.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// True while every offered sample is still held (percentiles exact).
+    pub fn is_exact(&self) -> bool {
+        self.seen <= self.cap as u64
+    }
+
+    /// The surviving waits, sorted ascending — the input [`percentile`]
+    /// expects.
+    pub fn sorted_waits(&self) -> Vec<u64> {
+        let mut waits: Vec<u64> = self.heap.iter().map(|e| e.wait).collect();
+        waits.sort_unstable();
+        waits
+    }
+}
+
 /// Aggregate result of one load-balancing simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
@@ -92,6 +245,83 @@ mod tests {
         assert_eq!(percentile(&s, 0.99), 10.0);
         assert_eq!(percentile(&s, 0.0), 1.0);
         assert!(percentile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn reservoir_is_exact_below_capacity() {
+        let mut r = WaitReservoir::with_capacity(7, 64);
+        let waits: Vec<u64> = (0..50).map(|i| (i * 13) % 41).collect();
+        for (i, &w) in waits.iter().enumerate() {
+            r.offer(i as u64 % 5, i as u64, w);
+        }
+        assert!(r.is_exact());
+        let mut exact = waits.clone();
+        exact.sort_unstable();
+        assert_eq!(r.sorted_waits(), exact);
+        assert_eq!(percentile(&r.sorted_waits(), 0.5), percentile(&exact, 0.5));
+    }
+
+    #[test]
+    fn reservoir_survivors_are_insertion_order_invariant() {
+        let offers: Vec<(u64, u64, u64)> =
+            (0..500).map(|i| (i % 17, i / 17, i * 3 % 97)).collect();
+        let mut fwd = WaitReservoir::with_capacity(99, 32);
+        for &(s, k, w) in &offers {
+            fwd.offer(s, k, w);
+        }
+        let mut rev = WaitReservoir::with_capacity(99, 32);
+        for &(s, k, w) in offers.iter().rev() {
+            rev.offer(s, k, w);
+        }
+        assert!(!fwd.is_exact());
+        assert_eq!(fwd.sorted_waits(), rev.sorted_waits());
+        assert_eq!(fwd.seen(), rev.seen());
+    }
+
+    #[test]
+    fn reservoir_merge_equals_global_reservoir() {
+        // Partition the offers across 4 "shards", merge, and compare with
+        // one global reservoir over the same offers: byte-identical.
+        let offers: Vec<(u64, u64, u64)> =
+            (0..1000).map(|i| (i % 23, i / 23, (i * 7) % 113)).collect();
+        let mut global = WaitReservoir::with_capacity(3, 64);
+        for &(s, k, w) in &offers {
+            global.offer(s, k, w);
+        }
+        let mut shards: Vec<WaitReservoir> =
+            (0..4).map(|_| WaitReservoir::with_capacity(3, 64)).collect();
+        for &(s, k, w) in &offers {
+            shards[(s % 4) as usize].offer(s, k, w);
+        }
+        let mut merged = WaitReservoir::with_capacity(3, 64);
+        for sh in &shards {
+            merged.merge(sh);
+        }
+        assert_eq!(merged.sorted_waits(), global.sorted_waits());
+        assert_eq!(merged.seen(), global.seen());
+    }
+
+    #[test]
+    fn reservoir_percentiles_track_exact_under_subsampling() {
+        // 20k uniform waits through a 2k reservoir: p50/p99 land within a
+        // few percent of the exact values (hash-uniform subsample).
+        let waits: Vec<u64> = (0..20_000u64)
+            .map(|i| mix64(i.wrapping_mul(0x1234_5678_9abc_def1)) % 1000)
+            .collect();
+        let mut r = WaitReservoir::with_capacity(5, 2048);
+        for (i, &w) in waits.iter().enumerate() {
+            r.offer(i as u64 % 100, i as u64 / 100, w);
+        }
+        let mut exact = waits.clone();
+        exact.sort_unstable();
+        for q in [0.5, 0.99] {
+            let est = percentile(&r.sorted_waits(), q);
+            let truth = percentile(&exact, q);
+            assert!(
+                (est - truth).abs() <= 0.05 * 1000.0,
+                "q={q}: est {est} vs exact {truth}"
+            );
+        }
     }
 
     #[test]

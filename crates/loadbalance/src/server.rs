@@ -6,6 +6,7 @@
 //! other server execution strategies"; the alternates here back that
 //! ablation (experiment E2c).
 
+use crate::metrics::{WaitReservoir, WAIT_RESERVOIR_SEED};
 use crate::task::{Task, TaskType};
 use std::collections::VecDeque;
 
@@ -49,24 +50,38 @@ impl Discipline {
 pub struct Server {
     queue: VecDeque<Task>,
     discipline: Discipline,
+    /// Identity used to key reservoir sample priorities; distinct per
+    /// server within a run so sample identities never collide.
+    id: u64,
     /// Total tasks served.
     pub served: u64,
     /// Sum of queueing delays (in timesteps) of served tasks.
     pub total_wait: u64,
-    /// Per-task queueing delays (for percentile statistics). Callers may
-    /// clear this at a measurement-window boundary.
-    pub wait_samples: Vec<u64>,
+    /// Bounded reservoir of per-task queueing delays (for percentile
+    /// statistics). Replaces the historical unbounded `wait_samples`
+    /// vector, whose O(timesteps × servers) growth ruled out
+    /// million-server runs. Callers may [`WaitReservoir::clear`] it at a
+    /// measurement-window boundary; the exact `total_wait`/`served`
+    /// counters are unaffected.
+    pub waits: WaitReservoir,
 }
 
 impl Server {
-    /// An empty server with the given discipline.
+    /// An empty server with the given discipline (id 0 — fine for unit
+    /// use; simulations give each server a distinct id via [`Server::with_id`]).
     pub fn new(discipline: Discipline) -> Self {
+        Server::with_id(discipline, 0)
+    }
+
+    /// An empty server with the given discipline and reservoir identity.
+    pub fn with_id(discipline: Discipline, id: u64) -> Self {
         Server {
             queue: VecDeque::new(),
             discipline,
+            id,
             served: 0,
             total_wait: 0,
-            wait_samples: Vec::new(),
+            waits: WaitReservoir::new(WAIT_RESERVOIR_SEED),
         }
     }
 
@@ -90,7 +105,10 @@ impl Server {
             let task = self.queue.remove(i).expect("selected index in range");
             let wait = now.saturating_sub(task.enqueued_at);
             self.total_wait += wait;
-            self.wait_samples.push(wait);
+            // `served` doubles as the per-server completion sequence: it
+            // never resets, so sample identities stay unique even across
+            // a measurement-window `waits.clear()`.
+            self.waits.offer(self.id, self.served, wait);
             self.served += 1;
             served += 1;
         }

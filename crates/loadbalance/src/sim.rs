@@ -7,7 +7,8 @@
 //! are executed one at a time. We measure average queue length as a
 //! function of system load, quantified by the ratio N/M."
 
-use crate::metrics::SimResult;
+use crate::error::SimError;
+use crate::metrics::{SimResult, WaitReservoir, WAIT_RESERVOIR_SEED};
 use crate::server::{Discipline, Server};
 use crate::strategy::Strategy;
 use crate::task::{Task, TaskType, Workload};
@@ -18,20 +19,24 @@ use rand::Rng;
 pub const QUEUE_SERIES_WINDOWS: usize = 32;
 
 /// Simulation runs completed.
-static SIM_RUNS: obs::LazyCounter = obs::LazyCounter::new("lb.sim.runs");
+pub(crate) static SIM_RUNS: obs::LazyCounter = obs::LazyCounter::new("lb.sim.runs");
 /// Timesteps simulated (warmup included).
-static SIM_STEPS: obs::LazyCounter = obs::LazyCounter::new("lb.sim.steps");
+pub(crate) static SIM_STEPS: obs::LazyCounter = obs::LazyCounter::new("lb.sim.steps");
 /// Tasks routed through a strategy's `assign_all`, across all runs —
 /// the numerator of the artifact `perf.tasks_per_sec` throughput.
-static TASKS_ASSIGNED: obs::LazyCounter = obs::LazyCounter::new("lb.tasks.assigned");
-/// Total queue length across servers, one sample per measured timestep.
-static QUEUE_TOTAL: obs::LazyHist = obs::LazyHist::new("lb.queue.total");
+/// Flushed once per run (hoisted out of the step loop).
+pub(crate) static TASKS_ASSIGNED: obs::LazyCounter = obs::LazyCounter::new("lb.tasks.assigned");
+/// Total queue length across servers, accumulated per measured timestep
+/// but flushed per measurement window (one sample per series window), so
+/// the hot loop carries no obs traffic. The histogram *sum* is unchanged
+/// from the historical per-step recording: total queue·steps.
+pub(crate) static QUEUE_TOTAL: obs::LazyHist = obs::LazyHist::new("lb.queue.total");
 /// CC pair-rounds that co-located / all CC pair-rounds.
-static CC_COLOCATED: obs::LazyCounter = obs::LazyCounter::new("lb.pairs.cc_colocated");
-static CC_ROUNDS: obs::LazyCounter = obs::LazyCounter::new("lb.pairs.cc_rounds");
+pub(crate) static CC_COLOCATED: obs::LazyCounter = obs::LazyCounter::new("lb.pairs.cc_colocated");
+pub(crate) static CC_ROUNDS: obs::LazyCounter = obs::LazyCounter::new("lb.pairs.cc_rounds");
 /// Non-CC pair-rounds that split / all non-CC pair-rounds.
-static OTHER_SPLIT: obs::LazyCounter = obs::LazyCounter::new("lb.pairs.other_split");
-static OTHER_ROUNDS: obs::LazyCounter = obs::LazyCounter::new("lb.pairs.other_rounds");
+pub(crate) static OTHER_SPLIT: obs::LazyCounter = obs::LazyCounter::new("lb.pairs.other_split");
+pub(crate) static OTHER_ROUNDS: obs::LazyCounter = obs::LazyCounter::new("lb.pairs.other_rounds");
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, Copy)]
@@ -53,19 +58,62 @@ impl SimConfig {
     /// M = ⌈N/load⌉ servers, paper discipline.
     ///
     /// # Panics
-    /// Panics if `load` is not positive or implies fewer than 2 servers.
+    /// Panics if `load` is not positive or implies fewer than 2 servers;
+    /// [`SimConfig::paper_checked`] is the non-panicking variant.
     pub fn paper(load: f64) -> Self {
-        assert!(load > 0.0, "load must be positive");
+        match Self::paper_checked(load) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The paper's setup at a given load, with a typed error instead of a
+    /// panic: rejects non-positive/non-finite loads and loads implying
+    /// fewer than 2 servers (a paired strategy could never split).
+    pub fn paper_checked(load: f64) -> Result<Self, SimError> {
+        if !load.is_finite() || load <= 0.0 {
+            return Err(SimError::BadLoad { load });
+        }
         let n_balancers = 100;
         let n_servers = (n_balancers as f64 / load).round() as usize;
-        assert!(n_servers >= 2, "load {load} implies < 2 servers");
-        SimConfig {
+        if n_servers < 2 {
+            return Err(SimError::TooFewServers { n_servers, min: 2 });
+        }
+        let config = SimConfig {
             n_balancers,
             n_servers,
             timesteps: 2_000,
             warmup: 500,
             discipline: Discipline::PaperPairedC,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Checks the configuration is simulatable: at least one balancer,
+    /// server, and measured timestep, and a total horizon
+    /// `warmup + timesteps` that does not overflow the u64 step counter
+    /// (checked, so it is safe at u64 extremes).
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.n_balancers == 0 {
+            return Err(SimError::NoBalancers);
         }
+        if self.n_servers == 0 {
+            return Err(SimError::TooFewServers {
+                n_servers: 0,
+                min: 1,
+            });
+        }
+        if self.timesteps == 0 {
+            return Err(SimError::NoTimesteps);
+        }
+        if self.warmup.checked_add(self.timesteps).is_none() {
+            return Err(SimError::HorizonOverflow {
+                warmup: self.warmup,
+                timesteps: self.timesteps,
+            });
+        }
+        Ok(())
     }
 
     /// The realized load ratio N/M.
@@ -93,7 +141,8 @@ impl SimConfig {
 /// ```
 ///
 /// # Panics
-/// Panics on degenerate configurations (no balancers/servers/steps).
+/// Panics on degenerate configurations (no balancers/servers/steps);
+/// [`try_run_simulation`] is the non-panicking variant.
 pub fn run_simulation<W, R>(
     config: SimConfig,
     strategy: Strategy,
@@ -104,8 +153,27 @@ where
     W: Workload + ?Sized,
     R: Rng,
 {
+    match try_run_simulation(config, strategy, workload, rng) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Like [`run_simulation`], but rejects degenerate configurations with a
+/// typed [`SimError`] instead of panicking mid-run.
+pub fn try_run_simulation<W, R>(
+    config: SimConfig,
+    strategy: Strategy,
+    workload: &mut W,
+    rng: &mut R,
+) -> Result<SimResult, SimError>
+where
+    W: Workload + ?Sized,
+    R: Rng,
+{
+    config.validate()?;
     let mut strat = strategy.build(config.n_servers);
-    run_simulation_with(config, strat.as_mut(), workload, rng)
+    try_run_simulation_with(config, strat.as_mut(), workload, rng)
 }
 
 /// Like [`run_simulation`], but takes an already-built (possibly
@@ -115,7 +183,8 @@ where
 /// entanglement-distribution pipeline.
 ///
 /// # Panics
-/// Panics on degenerate configurations (no balancers/servers/steps).
+/// Panics on degenerate configurations (no balancers/servers/steps);
+/// [`try_run_simulation_with`] is the non-panicking variant.
 pub fn run_simulation_with<W, R>(
     config: SimConfig,
     strat: &mut dyn crate::strategy::AssignmentStrategy,
@@ -126,10 +195,33 @@ where
     W: Workload + ?Sized,
     R: Rng,
 {
-    assert!(config.n_balancers > 0, "need balancers");
-    assert!(config.timesteps > 0, "need timesteps");
+    match try_run_simulation_with(config, strat, workload, rng) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Like [`run_simulation_with`], but rejects degenerate configurations
+/// with a typed [`SimError`] instead of panicking mid-run.
+///
+/// This is the compatibility path: a single-shard, epoch-length-1 advance
+/// that consumes the caller's generator in the exact historical draw
+/// order, so any `(config, strategy, workload, seed)` gives a trajectory
+/// bit-identical to the pre-shard `run_simulation`. The sharded
+/// structure-of-arrays engine for scale runs lives in [`crate::shard`].
+pub fn try_run_simulation_with<W, R>(
+    config: SimConfig,
+    strat: &mut dyn crate::strategy::AssignmentStrategy,
+    workload: &mut W,
+    rng: &mut R,
+) -> Result<SimResult, SimError>
+where
+    W: Workload + ?Sized,
+    R: Rng,
+{
+    config.validate()?;
     let mut servers: Vec<Server> = (0..config.n_servers)
-        .map(|_| Server::new(config.discipline))
+        .map(|i| Server::with_id(config.discipline, i as u64))
         .collect();
     let paired = strat.name().starts_with("paired");
 
@@ -159,9 +251,10 @@ where
             served_before_window = servers.iter().map(|s| s.served).sum();
             wait_before_window = servers.iter().map(|s| s.total_wait).sum();
             for s in servers.iter_mut() {
-                s.wait_samples.clear();
+                s.waits.clear();
             }
         }
+        workload.on_step(t);
         tasks.clear();
         for _ in 0..config.n_balancers {
             tasks.push(workload.next_task(rng));
@@ -171,7 +264,6 @@ where
         }
         let assignment = strat.assign_all(&tasks, &queue_lens, rng);
         debug_assert_eq!(assignment.len(), tasks.len());
-        TASKS_ASSIGNED.add(tasks.len() as u64);
 
         for (i, &srv) in assignment.iter().enumerate() {
             servers[srv].enqueue(Task {
@@ -192,7 +284,6 @@ where
                 step_total += q as u64;
                 max_queue = max_queue.max(q);
             }
-            QUEUE_TOTAL.record(step_total);
             let w = ((t - config.warmup) as usize * windows) / config.timesteps as usize;
             win_queue_sum[w] += step_total;
             win_samples[w] += config.n_servers as u64;
@@ -214,18 +305,27 @@ where
         }
     }
 
-    let mut wait_samples: Vec<u64> = servers
-        .iter_mut()
-        .flat_map(|s| s.wait_samples.drain(..))
-        .collect();
-    wait_samples.sort_unstable();
+    // Global bottom-R over the union of the per-server reservoirs — the
+    // same surviving set one flat reservoir over every sample would keep.
+    let mut waits = WaitReservoir::new(WAIT_RESERVOIR_SEED);
+    for s in &servers {
+        waits.merge(&s.waits);
+    }
+    let wait_samples = waits.sorted_waits();
     let served: u64 = servers.iter().map(|s| s.served).sum::<u64>() - served_before_window;
     let total_wait: u64 =
         servers.iter().map(|s| s.total_wait).sum::<u64>() - wait_before_window;
     let samples = config.timesteps * config.n_servers as u64;
 
+    // Obs flushes, hoisted out of the step loop: counters once per run,
+    // the queue histogram once per series window (sum unchanged from the
+    // historical per-step recording).
     SIM_RUNS.inc();
     SIM_STEPS.add(total_steps);
+    TASKS_ASSIGNED.add(config.n_balancers as u64 * total_steps);
+    for &w in &win_queue_sum {
+        QUEUE_TOTAL.record(w);
+    }
     CC_ROUNDS.add(cc_rounds);
     CC_COLOCATED.add(cc_colocated);
     OTHER_ROUNDS.add(other_rounds);
@@ -238,7 +338,7 @@ where
         .map(|(&s, &n)| s as f64 / n as f64)
         .collect();
 
-    SimResult {
+    Ok(SimResult {
         strategy: strat.name(),
         load: config.load(),
         avg_queue_len: queue_len_sum as f64 / samples as f64,
@@ -267,7 +367,7 @@ where
         other_rounds,
         other_split,
         queue_len_series,
-    }
+    })
 }
 
 /// Sweeps the load axis of Figure 4 for one strategy, returning
@@ -477,6 +577,70 @@ mod tests {
         assert_eq!(c.n_balancers, 100);
         assert_eq!(c.n_servers, 80);
         assert!((c.load() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checked_constructors_reject_degenerate_configs() {
+        use crate::error::SimError;
+        assert_eq!(
+            SimConfig::paper_checked(0.0).unwrap_err(),
+            SimError::BadLoad { load: 0.0 }
+        );
+        assert!(matches!(
+            SimConfig::paper_checked(f64::NAN).unwrap_err(),
+            SimError::BadLoad { .. }
+        ));
+        assert!(matches!(
+            SimConfig::paper_checked(f64::INFINITY).unwrap_err(),
+            SimError::BadLoad { .. }
+        ));
+        assert_eq!(
+            SimConfig::paper_checked(100.0).unwrap_err(),
+            SimError::TooFewServers {
+                n_servers: 1,
+                min: 2
+            }
+        );
+        assert!(SimConfig::paper_checked(1.2).is_ok());
+    }
+
+    #[test]
+    fn validate_is_overflow_safe_at_u64_extremes() {
+        use crate::error::SimError;
+        let mut c = SimConfig::paper(1.0);
+        c.warmup = u64::MAX;
+        // warmup + timesteps would wrap; checked validation reports it.
+        assert_eq!(
+            c.validate().unwrap_err(),
+            SimError::HorizonOverflow {
+                warmup: u64::MAX,
+                timesteps: c.timesteps
+            }
+        );
+        c.warmup = u64::MAX - c.timesteps;
+        assert!(c.validate().is_ok(), "exact fit must not be rejected");
+    }
+
+    #[test]
+    fn try_run_returns_typed_error_instead_of_panicking() {
+        use crate::error::SimError;
+        let mut c = SimConfig::paper(1.0);
+        c.n_servers = 0;
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = try_run_simulation(
+            c,
+            Strategy::UniformRandom,
+            &mut BernoulliWorkload::paper(),
+            &mut rng,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::TooFewServers {
+                n_servers: 0,
+                min: 1
+            }
+        );
     }
 }
 

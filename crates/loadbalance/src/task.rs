@@ -44,6 +44,13 @@ pub trait Workload {
     /// Draws the next task type for one load balancer.
     fn next_task<R: Rng + ?Sized>(&mut self, rng: &mut R) -> TaskType;
 
+    /// Called once at the start of each timestep, before any
+    /// [`Workload::next_task`] draws for that step. Time-varying
+    /// workloads (e.g. [`DiurnalWorkload`]) use it to observe the clock;
+    /// the default is a no-op and draws nothing, so stationary workloads
+    /// are unaffected.
+    fn on_step(&mut self, _t: u64) {}
+
     /// Name for report tables.
     fn name(&self) -> &'static str {
         "workload"
@@ -144,6 +151,170 @@ impl Workload for BurstyWorkload {
     }
 }
 
+/// A diurnal workload: P(type-C) follows a sinusoid over the day,
+/// modelling the interactive-vs-batch mix shift of real request streams.
+///
+/// `p_c(t) = clamp(mean + amplitude · sin(2π t / period), 0, 1)`
+#[derive(Debug, Clone, Copy)]
+pub struct DiurnalWorkload {
+    mean: f64,
+    amplitude: f64,
+    period: u64,
+    t: u64,
+}
+
+impl DiurnalWorkload {
+    /// A diurnal workload oscillating around `mean` with the given
+    /// `amplitude` and `period` (timesteps per full cycle).
+    ///
+    /// # Panics
+    /// Panics if `mean ∉ [0,1]`, `amplitude < 0`, or `period == 0`.
+    pub fn new(mean: f64, amplitude: f64, period: u64) -> Self {
+        assert!((0.0..=1.0).contains(&mean), "bad probability {mean}");
+        assert!(amplitude >= 0.0, "negative amplitude");
+        assert!(period > 0, "need a positive period");
+        DiurnalWorkload {
+            mean,
+            amplitude,
+            period,
+            t: 0,
+        }
+    }
+
+    /// P(type-C) at step `t`.
+    pub fn p_colocate_at(&self, t: u64) -> f64 {
+        let phase = (t % self.period) as f64 / self.period as f64;
+        (self.mean + self.amplitude * (std::f64::consts::TAU * phase).sin()).clamp(0.0, 1.0)
+    }
+}
+
+impl Workload for DiurnalWorkload {
+    fn next_task<R: Rng + ?Sized>(&mut self, rng: &mut R) -> TaskType {
+        if rng.gen::<f64>() < self.p_colocate_at(self.t) {
+            TaskType::Colocate(0)
+        } else {
+            TaskType::Exclusive
+        }
+    }
+
+    fn on_step(&mut self, t: u64) {
+        self.t = t;
+    }
+
+    fn name(&self) -> &'static str {
+        "diurnal"
+    }
+}
+
+/// Arrival-model *specification* for the sharded engine
+/// ([`crate::shard`]).
+///
+/// A [`Workload`] implementor is one mutable generator shared by every
+/// balancer, which ties arrivals to a single global draw order — exactly
+/// what a sharded simulator cannot have. An `ArrivalModel` is instead a
+/// pure description: the engine keeps any per-balancer phase state in its
+/// own flat arrays and draws from per-pair RNG sub-streams, so arrivals
+/// are a pure function of `(master seed, balancer, step)` at any shard or
+/// worker count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalModel {
+    /// i.i.d. Bernoulli: type-C with probability `p_c` each step (the
+    /// Figure 4 workload at `p_c = 0.5`).
+    Bernoulli {
+        /// P(type-C) per draw.
+        p_c: f64,
+    },
+    /// Two-state MMPP (Markov-modulated): each balancer carries a
+    /// hot/cold phase bit and flips it with `switch_prob` per draw —
+    /// the sharded counterpart of [`BurstyWorkload`].
+    Mmpp {
+        /// P(type-C) in the C-heavy phase.
+        p_c_hot: f64,
+        /// P(type-C) in the E-heavy phase.
+        p_c_cold: f64,
+        /// Per-draw probability of switching phase.
+        switch_prob: f64,
+    },
+    /// Sinusoidal daily cycle — the sharded counterpart of
+    /// [`DiurnalWorkload`].
+    Diurnal {
+        /// Mean P(type-C).
+        mean: f64,
+        /// Oscillation amplitude.
+        amplitude: f64,
+        /// Timesteps per full cycle.
+        period: u64,
+    },
+}
+
+impl ArrivalModel {
+    /// The paper's Figure 4 workload: C with probability 1/2.
+    pub fn paper() -> Self {
+        ArrivalModel::Bernoulli { p_c: 0.5 }
+    }
+
+    /// Label for report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalModel::Bernoulli { .. } => "bernoulli",
+            ArrivalModel::Mmpp { .. } => "mmpp",
+            ArrivalModel::Diurnal { .. } => "diurnal",
+        }
+    }
+
+    /// True when every parameter is a valid probability / period.
+    pub fn is_valid(&self) -> bool {
+        let prob = |p: f64| (0.0..=1.0).contains(&p);
+        match *self {
+            ArrivalModel::Bernoulli { p_c } => prob(p_c),
+            ArrivalModel::Mmpp {
+                p_c_hot,
+                p_c_cold,
+                switch_prob,
+            } => prob(p_c_hot) && prob(p_c_cold) && prob(switch_prob),
+            ArrivalModel::Diurnal {
+                mean,
+                amplitude,
+                period,
+            } => prob(mean) && amplitude >= 0.0 && period > 0,
+        }
+    }
+
+    /// Per-draw phase-switch probability (0 for phase-free models).
+    #[inline]
+    pub fn switch_prob(&self) -> f64 {
+        match *self {
+            ArrivalModel::Mmpp { switch_prob, .. } => switch_prob,
+            _ => 0.0,
+        }
+    }
+
+    /// P(type-C) at step `t` for a balancer currently in phase `hot`.
+    #[inline]
+    pub fn p_colocate(&self, t: u64, hot: bool) -> f64 {
+        match *self {
+            ArrivalModel::Bernoulli { p_c } => p_c,
+            ArrivalModel::Mmpp {
+                p_c_hot, p_c_cold, ..
+            } => {
+                if hot {
+                    p_c_hot
+                } else {
+                    p_c_cold
+                }
+            }
+            ArrivalModel::Diurnal {
+                mean,
+                amplitude,
+                period,
+            } => {
+                let phase = (t % period) as f64 / period as f64;
+                (mean + amplitude * (std::f64::consts::TAU * phase).sin()).clamp(0.0, 1.0)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,5 +377,70 @@ mod tests {
     #[should_panic(expected = "at least one subtype")]
     fn zero_subtypes_panics() {
         BernoulliWorkload::new(0.5, 0);
+    }
+
+    #[test]
+    fn diurnal_rate_oscillates_and_averages_to_mean() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut w = DiurnalWorkload::new(0.5, 0.4, 200);
+        // Peak (quarter period) vs trough (three-quarter period).
+        assert!(w.p_colocate_at(50) > 0.85);
+        assert!(w.p_colocate_at(150) < 0.15);
+        // Long-run C rate over whole cycles sits at the mean.
+        let mut c = 0usize;
+        let trials = 100_000u64;
+        for t in 0..trials {
+            w.on_step(t % 200);
+            if w.next_task(&mut rng).is_colocate() {
+                c += 1;
+            }
+        }
+        let f = c as f64 / trials as f64;
+        assert!((f - 0.5).abs() < 0.02, "long-run C rate {f}");
+    }
+
+    #[test]
+    fn arrival_model_matches_workload_counterparts() {
+        // The sharded-engine spec and the legacy generators must agree on
+        // P(type-C) in every phase/step.
+        let m = ArrivalModel::Mmpp {
+            p_c_hot: 0.9,
+            p_c_cold: 0.1,
+            switch_prob: 0.01,
+        };
+        assert_eq!(m.p_colocate(0, true), 0.9);
+        assert_eq!(m.p_colocate(0, false), 0.1);
+        assert_eq!(m.switch_prob(), 0.01);
+
+        let d = ArrivalModel::Diurnal {
+            mean: 0.5,
+            amplitude: 0.4,
+            period: 200,
+        };
+        let w = DiurnalWorkload::new(0.5, 0.4, 200);
+        for t in [0u64, 17, 50, 123, 199] {
+            assert_eq!(d.p_colocate(t, true), w.p_colocate_at(t));
+        }
+        assert_eq!(d.switch_prob(), 0.0);
+        assert_eq!(ArrivalModel::paper().p_colocate(7, false), 0.5);
+    }
+
+    #[test]
+    fn arrival_model_validation() {
+        assert!(ArrivalModel::paper().is_valid());
+        assert!(!ArrivalModel::Bernoulli { p_c: 1.5 }.is_valid());
+        assert!(!ArrivalModel::Mmpp {
+            p_c_hot: 0.5,
+            p_c_cold: -0.1,
+            switch_prob: 0.0
+        }
+        .is_valid());
+        assert!(!ArrivalModel::Diurnal {
+            mean: 0.5,
+            amplitude: 0.1,
+            period: 0
+        }
+        .is_valid());
+        assert_eq!(ArrivalModel::paper().label(), "bernoulli");
     }
 }

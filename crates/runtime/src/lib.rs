@@ -36,8 +36,8 @@
 pub mod pool;
 pub mod seed;
 
-pub use pool::{par_map, par_map_threads, thread_count};
-pub use seed::{mix64, point_seed, stream_seed};
+pub use pool::{par_map, par_map_mut, par_map_mut_threads, par_map_threads, thread_count};
+pub use seed::{mix64, point_seed, stream_seed, SplitMix64};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

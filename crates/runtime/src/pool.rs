@@ -151,6 +151,62 @@ where
         .collect()
 }
 
+/// Parallel indexed map over a *mutable* slice with an explicit worker
+/// count: each worker owns one contiguous sub-slice via `chunks_mut`, so
+/// there is no locking (and no stealing) on the work path.
+///
+/// Built for advancing sharded simulator state, where the items are a
+/// handful of equal-cost shard structs rather than thousands of skewed
+/// sweep points — static partitioning is both sufficient and the only
+/// scheme that lets every worker hold `&mut` state without locks.
+/// Results are returned in item order; `threads <= 1` runs inline and is
+/// the reference path for determinism tests.
+pub fn par_map_mut_threads<T, R, F>(threads: usize, items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let len = items.len();
+    ITEMS_EXECUTED.add(len as u64);
+    if threads <= 1 || len <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = threads.min(len);
+    let chunk = len.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for (k, part) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                WORKERS_SPAWNED.inc();
+                CHUNK_ITEMS.record_shard(k, part.len() as u64);
+                let base = k * chunk;
+                part.iter_mut()
+                    .enumerate()
+                    .map(|(j, t)| f(base + j, t))
+                    .collect::<Vec<R>>()
+            }));
+        }
+        // Joining in spawn order keeps results in item order.
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("par_map_mut worker panicked"))
+            .collect()
+    })
+}
+
+/// Parallel indexed map over a mutable slice using the configured worker
+/// count ([`thread_count`]).
+pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    par_map_mut_threads(thread_count(), items, f)
+}
+
 /// Parallel indexed map using the configured worker count
 /// ([`thread_count`]).
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
@@ -198,6 +254,42 @@ mod tests {
     fn more_workers_than_items_is_fine() {
         let out = par_map_threads(32, &[1, 2, 3], |_, &x| x * x);
         assert_eq!(out, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn par_map_mut_mutates_in_place_and_returns_in_order() {
+        let mut items: Vec<u64> = (0..97).collect();
+        let out = par_map_mut_threads(4, &mut items, |i, x| {
+            assert_eq!(i as u64, *x);
+            *x += 100;
+            *x
+        });
+        assert_eq!(out, (100..197).collect::<Vec<_>>());
+        assert_eq!(items, (100..197).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_mut_is_worker_count_invariant() {
+        let run = |threads| {
+            let mut items: Vec<u64> = (0..31).collect();
+            let out = par_map_mut_threads(threads, &mut items, |i, x| {
+                *x = x.wrapping_mul(0x9e37_79b9).rotate_left(i as u32 % 13);
+                *x
+            });
+            (items, out)
+        };
+        let reference = run(1);
+        for threads in [2, 3, 16] {
+            assert_eq!(run(threads), reference);
+        }
+    }
+
+    #[test]
+    fn par_map_mut_handles_empty_and_singleton() {
+        let mut empty: Vec<u32> = vec![];
+        assert!(par_map_mut_threads(8, &mut empty, |_, x| *x).is_empty());
+        let mut one = vec![5u32];
+        assert_eq!(par_map_mut_threads(8, &mut one, |_, x| *x + 1), vec![6]);
     }
 
     #[test]

@@ -43,6 +43,66 @@ pub fn point_seed(experiment: u64, i: u64, j: u64) -> u64 {
     mix64(z)
 }
 
+/// A SplitMix64 stream generator: golden-ratio counter pushed through
+/// [`mix64`] on every draw.
+///
+/// This is the allocation-free core generator for hot simulation paths
+/// where `StdRng` (ChaCha12) is overkill: three multiplies and a handful
+/// of shifts per `u64`. The state is a plain counter, so a stream can be
+/// snapshotted, stored in a flat `Vec<u64>`, and resumed — exactly what
+/// a sharded simulator needs to keep per-entity sub-streams in
+/// structure-of-arrays form. Streams for related entities should be
+/// seeded via [`stream_seed`] so they stay decorrelated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Stream seeded at `seed`. Two streams with seeds from
+    /// [`stream_seed`] under different indices never collide in practice.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Rebuild a stream from a raw snapshot taken with [`Self::raw`].
+    #[inline]
+    pub fn from_raw(state: u64) -> Self {
+        SplitMix64 { state }
+    }
+
+    /// The raw counter state, for storage in flat arrays.
+    #[inline]
+    pub fn raw(&self) -> u64 {
+        self.state
+    }
+
+    /// Next 64 uniform bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN);
+        mix64(self.state)
+    }
+
+    /// Uniform double in `[0, 1)` from the top 53 bits of one draw.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)` via the widening-multiply map
+    /// (Lemire). One draw, no rejection loop; the residual bias is
+    /// `< n / 2^64`, far below Monte-Carlo noise for any simulator-scale
+    /// `n`, and the fixed draw count per call is what keeps sharded
+    /// stream consumption a pure function of the call sequence.
+    #[inline]
+    pub fn gen_range(&mut self, n: u32) -> u32 {
+        debug_assert!(n > 0, "gen_range needs a non-empty range");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u32
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,6 +121,45 @@ mod tests {
                 assert!(seen.insert(stream_seed(master, index)), "collision");
             }
         }
+    }
+
+    #[test]
+    fn splitmix_stream_is_reproducible_and_snapshotable() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Snapshot/resume through the raw counter is lossless.
+        let snap = a.raw();
+        let tail: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let mut resumed = SplitMix64::from_raw(snap);
+        let tail2: Vec<u64> = (0..8).map(|_| resumed.next_u64()).collect();
+        assert_eq!(tail, tail2);
+    }
+
+    #[test]
+    fn splitmix_ranges_and_floats_are_in_bounds() {
+        let mut rng = SplitMix64::new(7);
+        let mut seen_high = false;
+        for _ in 0..4096 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            let r = rng.gen_range(10);
+            assert!(r < 10);
+            seen_high |= r >= 8;
+        }
+        assert!(seen_high, "range draws never reached the top decile");
+    }
+
+    #[test]
+    fn splitmix_matches_the_stream_seed_construction() {
+        // One draw from a stream seeded at s is mix64(s + GOLDEN): the
+        // same SplitMix64 recipe stream_seed builds on. Frozen so the
+        // shard engine's draws can never silently drift.
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), mix64(GOLDEN));
+        assert_eq!(rng.next_u64(), mix64(GOLDEN.wrapping_mul(2)));
     }
 
     #[test]
