@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test clippy bench-compile bench-sweep bench-xor bench-plane bench-scale repro-quick test-stat
+.PHONY: ci build test clippy bench-compile bench-sweep bench-xor bench-plane bench-scale bench-trace repro-quick trace-quick perf-diff test-stat
 
 ci: build test clippy bench-compile repro-quick
 
@@ -42,6 +42,25 @@ bench-plane:
 # obs on/off overhead arm — the DESIGN.md §5 fig4-scale rows.
 bench-scale:
 	$(CARGO) bench -p qnlg-bench --bench scale
+
+# Trace-overhead ablation: the disabled gate (one relaxed bool load)
+# against no call at all — must be free — plus the batched-plane step
+# traced vs untraced (the cost of --trace runs). Numbers in DESIGN.md §5.
+bench-trace:
+	$(CARGO) bench -p qnlg-bench --bench trace
+
+# Quick-budget chaos run with the event timeline on: writes
+# artifacts/TRACE_fig4-faults.json (Chrome trace_event — load in
+# Perfetto or chrome://tracing) next to the BENCH artifact.
+trace-quick:
+	$(CARGO) run --release -p qnlg-bench --bin repro -- fig4-faults --quick --trace --out artifacts/
+
+# Perf-regression gate: freshly regenerated quick artifacts vs the
+# checked-in full-budget ones. Budgets differ, so only the per-unit-work
+# throughput rates are compared; 5x absorbs machine-to-machine noise
+# while still catching order-of-magnitude collapses.
+perf-diff: repro-quick
+	$(CARGO) run --release -p qnlg-bench --bin repro -- perf-diff . artifacts/ --tolerance 5.0
 
 # Statistical acceptance tests with their sample-size/confidence
 # accounting printed (every stochastic assertion states its n and

@@ -1,9 +1,10 @@
 //! `repro` — regenerate every figure and quantitative claim of the paper.
 //!
 //! ```text
-//! repro <experiment> [--quick] [--json] [--out <dir>]
-//! repro all [--quick] [--json] [--out <dir>]
+//! repro <experiment> [--quick] [--json] [--out <dir>] [--trace]
+//! repro all [--quick] [--json] [--out <dir>] [--trace]
 //! repro check-artifacts <dir>
+//! repro perf-diff <old-dir> <new-dir> [--tolerance <ratio>]
 //! repro list
 //! ```
 //!
@@ -12,6 +13,14 @@
 //! one `BENCH_<experiment>.json` artifact per experiment (text output
 //! stays on stdout unless `--json` is also given). `check-artifacts`
 //! re-validates previously written artifacts against the schema.
+//!
+//! `--trace` (requires `--out`) additionally records the event timeline
+//! and writes `TRACE_<experiment>.json` (Chrome `trace_event` format —
+//! load in Perfetto or `chrome://tracing`) plus `TRACE_<experiment>.jsonl`
+//! (compact JSON-lines) per experiment. `perf-diff` compares the `perf`
+//! sections of two artifact directories and exits non-zero when any
+//! metric regressed beyond the tolerance (default 1.5×), so CI can gate
+//! on it.
 //!
 //! The process exits non-zero when any experiment's acceptance checks
 //! fail, so CI can gate on `repro all --quick`.
@@ -34,61 +43,182 @@
 //! | hybrid           | §4.1 caveat: dedicated-server baseline (E7)      |
 //! | pipeline         | E8: hardware-in-the-loop Figure 4                |
 
-use qnlg_bench::report::{validate_artifact_line, PerfStats, RunContext};
-use qnlg_bench::{experiments, Report};
+use qnlg_bench::report::{validate_artifact_line, write_artifact, PerfStats, RunContext};
+use qnlg_bench::{experiments, perfdiff, Report, Table};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
+
+/// Sim-time width of one `series` window (1 ms of simulated time; the
+/// recorder caps itself at `trace::series::MAX_WINDOWS`).
+const SERIES_WINDOW_NS: u64 = 1_000_000;
 
 struct Options {
     quick: bool,
     json: bool,
     out: Option<PathBuf>,
+    trace: bool,
+    tolerance: Option<f64>,
+}
+
+/// Everything one instrumented experiment run produces.
+struct RunOutput {
+    report: Report,
+    snap: obs::Snapshot,
+    perf: PerfStats,
+    series: trace::series::SeriesSnapshot,
+    trace_log: Option<trace::TraceLog>,
 }
 
 /// Runs one experiment with the metrics registry scoped to it, so the
 /// artifact's `obs` section covers exactly this run; times the run for
-/// the artifact's `perf` section.
-fn run_instrumented(name: &str, quick: bool) -> Option<(Report, obs::Snapshot, PerfStats)> {
+/// the artifact's `perf` section, records the windowed `series`, and —
+/// under `--trace` — captures the event timeline.
+fn run_instrumented(name: &str, quick: bool, tracing: bool) -> Option<RunOutput> {
     obs::reset();
     obs::set_enabled(true);
+    if tracing {
+        trace::reset();
+        trace::set_enabled(true);
+    }
+    trace::series::start(SERIES_WINDOW_NS);
     let started = Instant::now();
     let report = experiments::run(name, quick);
     let elapsed = started.elapsed();
+    let series = trace::series::finish();
+    let trace_log = tracing.then(|| {
+        trace::set_enabled(false);
+        trace::drain()
+    });
     let snap = obs::snapshot();
     obs::set_enabled(false);
     let perf = PerfStats::from_elapsed(elapsed, Some(&snap));
-    report.map(|r| (r, snap, perf))
+    report.map(|report| RunOutput {
+        report,
+        snap,
+        perf,
+        series,
+        trace_log,
+    })
 }
 
 /// Emits one finished report: text and/or JSON to stdout, plus the
-/// `BENCH_<name>.json` artifact when `--out` is set. Returns false on an
-/// artifact I/O failure.
-fn emit(report: &Report, snap: obs::Snapshot, perf: PerfStats, opts: &Options) -> bool {
-    let mut ctx = RunContext::current(opts.quick, Some(snap));
-    ctx.perf = Some(perf);
-    let line = report.to_json(&ctx).render();
+/// `BENCH_<name>.json` (and under `--trace` the `TRACE_<name>.*`)
+/// artifacts when `--out` is set. Returns false on an artifact I/O
+/// failure.
+fn emit(out: &RunOutput, opts: &Options) -> bool {
+    let mut ctx = RunContext::current(opts.quick, Some(out.snap.clone()));
+    ctx.perf = Some(out.perf);
+    ctx.series = Some(out.series.clone());
+    let line = out.report.to_json(&ctx).render();
     if opts.json {
         println!("{line}");
     } else {
-        println!("{report}");
+        println!("{}", out.report);
         // Timing is machine-dependent, so it goes to stderr: stdout
         // stays byte-identical across runs and thread counts.
         eprintln!(
             "perf: {:.1} ms ({:.2e} pairs/s, {:.2e} tasks/s)",
-            perf.elapsed_ns as f64 / 1e6,
-            perf.pairs_per_sec,
-            perf.tasks_per_sec
+            out.perf.elapsed_ns as f64 / 1e6,
+            out.perf.pairs_per_sec,
+            out.perf.tasks_per_sec
         );
     }
-    if let Some(dir) = &opts.out {
-        let path = dir.join(format!("BENCH_{}.json", report.name));
-        if let Err(e) = std::fs::write(&path, format!("{line}\n")) {
-            eprintln!("error: cannot write {}: {e}", path.display());
+    let Some(dir) = &opts.out else {
+        return true;
+    };
+    let mut files = vec![(format!("BENCH_{}.json", out.report.name), format!("{line}\n"))];
+    if let Some(log) = &out.trace_log {
+        files.push((
+            format!("TRACE_{}.json", out.report.name),
+            format!("{}\n", trace::export::chrome_trace(log).render()),
+        ));
+        files.push((
+            format!("TRACE_{}.jsonl", out.report.name),
+            trace::export::json_lines(log),
+        ));
+        eprintln!(
+            "trace: {} events ({} dropped) -> {}",
+            log.events.len(),
+            log.dropped,
+            dir.join(format!("TRACE_{}.json", out.report.name)).display()
+        );
+    }
+    for (name, contents) in &files {
+        if let Err(e) = write_artifact(dir, name, contents) {
+            eprintln!("error: {e}");
             return false;
         }
     }
     true
+}
+
+/// Renders the `repro all` per-experiment summary (stderr: the timing
+/// columns are machine-dependent).
+fn summary_table(rows: &[(&'static str, PerfStats, bool)]) -> String {
+    let mut t = Table::new(vec![
+        "experiment",
+        "elapsed (ms)",
+        "pairs/s",
+        "tasks/s",
+        "checks",
+    ]);
+    for (name, perf, passed) in rows {
+        t.row(vec![
+            name.to_string(),
+            format!("{:.1}", perf.elapsed_ns as f64 / 1e6),
+            format!("{:.2e}", perf.pairs_per_sec),
+            format!("{:.2e}", perf.tasks_per_sec),
+            if *passed { "PASS".into() } else { "FAIL".into() },
+        ]);
+    }
+    t.render()
+}
+
+/// `repro perf-diff <old> <new>`: compares the `perf` sections and gates
+/// on the tolerance.
+fn perf_diff(old_dir: &Path, new_dir: &Path, tolerance: f64) -> ExitCode {
+    let load = |dir: &Path| match perfdiff::load_dir(dir) {
+        Ok(entries) => Some(entries),
+        Err(e) => {
+            eprintln!("error: {e}");
+            None
+        }
+    };
+    let (Some(old), Some(new)) = (load(old_dir), load(new_dir)) else {
+        return ExitCode::FAILURE;
+    };
+    let d = perfdiff::diff(&old, &new, tolerance);
+    let mut t = Table::new(vec!["experiment", "metric", "old", "new", "ratio", "status"]);
+    for l in &d.lines {
+        let fmt = |v: f64| {
+            if l.metric == "elapsed_ns" {
+                format!("{:.1}ms", v / 1e6)
+            } else {
+                format!("{v:.2e}")
+            }
+        };
+        t.row(vec![
+            l.experiment.clone(),
+            l.metric.to_string(),
+            fmt(l.old),
+            fmt(l.new),
+            format!("{:.2}x", l.slowdown),
+            if l.regressed { "REGRESSED".into() } else { "ok".into() },
+        ]);
+    }
+    println!("perf-diff (tolerance {tolerance:.2}x)");
+    print!("{}", t.render());
+    for s in &d.skipped {
+        eprintln!("skipped: {s}");
+    }
+    if d.regressed() {
+        eprintln!("FAIL: perf regression beyond {tolerance:.2}x tolerance");
+        ExitCode::FAILURE
+    } else {
+        println!("no perf regressions beyond {tolerance:.2}x");
+        ExitCode::SUCCESS
+    }
 }
 
 fn check_artifacts(dir: &Path) -> ExitCode {
@@ -158,6 +288,8 @@ fn main() -> ExitCode {
         quick: false,
         json: false,
         out: None,
+        trace: false,
+        tolerance: None,
     };
     let mut names: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -165,10 +297,18 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--quick" => opts.quick = true,
             "--json" => opts.json = true,
+            "--trace" => opts.trace = true,
             "--out" => match it.next() {
                 Some(dir) => opts.out = Some(PathBuf::from(dir)),
                 None => {
                     eprintln!("error: --out requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(r) if r >= 1.0 => opts.tolerance = Some(r),
+                _ => {
+                    eprintln!("error: --tolerance requires a ratio >= 1.0");
                     return ExitCode::FAILURE;
                 }
             },
@@ -181,10 +321,18 @@ fn main() -> ExitCode {
     }
 
     let Some(first) = names.first().cloned() else {
-        eprintln!("usage: repro <experiment|all|list|check-artifacts> [--quick] [--json] [--out <dir>]");
+        eprintln!(
+            "usage: repro <experiment|all|list|check-artifacts|perf-diff> \
+             [--quick] [--json] [--out <dir>] [--trace] [--tolerance <ratio>]"
+        );
         eprintln!("experiments: {}", experiments::ALL.join(", "));
         return ExitCode::FAILURE;
     };
+
+    if opts.trace && opts.out.is_none() {
+        eprintln!("error: --trace requires --out <dir> (traces are written, not printed)");
+        return ExitCode::FAILURE;
+    }
 
     if let Some(dir) = &opts.out {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -207,20 +355,34 @@ fn main() -> ExitCode {
             };
             check_artifacts(Path::new(dir))
         }
+        "perf-diff" => {
+            let (Some(old_dir), Some(new_dir)) = (names.get(1), names.get(2)) else {
+                eprintln!("usage: repro perf-diff <old-dir> <new-dir> [--tolerance <ratio>]");
+                return ExitCode::FAILURE;
+            };
+            perf_diff(
+                Path::new(old_dir),
+                Path::new(new_dir),
+                opts.tolerance.unwrap_or(perfdiff::DEFAULT_TOLERANCE),
+            )
+        }
         "all" => {
             let mut all_passed = true;
+            let mut rows: Vec<(&'static str, PerfStats, bool)> = Vec::new();
             for name in experiments::ALL {
                 if !opts.json {
                     println!("================================================================");
                 }
-                let (report, snap, perf) =
-                    run_instrumented(name, opts.quick).expect("ALL only lists known experiments");
-                all_passed &= emit(&report, snap, perf, &opts);
-                if !report.passed() {
+                let out =
+                    run_instrumented(name, opts.quick, opts.trace).expect("ALL only lists known experiments");
+                all_passed &= emit(&out, &opts);
+                if !out.report.passed() {
                     eprintln!("FAIL: experiment '{name}' acceptance checks failed");
                     all_passed = false;
                 }
+                rows.push((*name, out.perf, out.report.passed()));
             }
+            eprint!("{}", summary_table(&rows));
             if all_passed {
                 ExitCode::SUCCESS
             } else {
@@ -230,10 +392,10 @@ fn main() -> ExitCode {
         _ => {
             let mut ok = true;
             for name in &names {
-                match run_instrumented(name, opts.quick) {
-                    Some((report, snap, perf)) => {
-                        ok &= emit(&report, snap, perf, &opts);
-                        if !report.passed() {
+                match run_instrumented(name, opts.quick, opts.trace) {
+                    Some(out) => {
+                        ok &= emit(&out, &opts);
+                        if !out.report.passed() {
                             eprintln!("FAIL: experiment '{name}' acceptance checks failed");
                             ok = false;
                         }

@@ -17,6 +17,7 @@
 //! the pool size.
 
 pub mod experiments;
+pub mod perfdiff;
 pub mod report;
 pub mod table;
 

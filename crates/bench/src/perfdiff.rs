@@ -1,0 +1,312 @@
+//! Perf-regression gate: compares the `perf` sections of two artifact
+//! directories (`repro perf-diff <old-dir> <new-dir>`).
+//!
+//! Wall-clock numbers are noisy, so every comparison carries a
+//! multiplicative tolerance: elapsed time regresses when
+//! `new / old > tolerance`, throughput regresses when
+//! `old / new > tolerance`. Elapsed time is only comparable between runs
+//! of the same Monte-Carlo budget, so when the two artifacts disagree on
+//! `quick` the diff falls back to throughput-only (pairs/sec and
+//! tasks/sec are per-unit-work rates, which survive a budget change up
+//! to cache effects — use a generous tolerance there, e.g. the CI gate's
+//! 5×). Artifacts with a null `perf` section (determinism-pinned) are
+//! skipped with a note, never failed.
+
+use crate::report::validate_artifact_line;
+use obs::json::Json;
+use std::path::Path;
+
+/// Default multiplicative tolerance for same-budget comparisons.
+pub const DEFAULT_TOLERANCE: f64 = 1.5;
+
+/// The perf facts of one artifact line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfEntry {
+    /// Experiment name (`BENCH_<experiment>.json`).
+    pub experiment: String,
+    /// Whether the run used the quick budget.
+    pub quick: bool,
+    /// Wall-clock nanoseconds, when the artifact carries perf.
+    pub elapsed_ns: Option<u64>,
+    /// Pairs emitted per second (0 when no distributor ran).
+    pub pairs_per_sec: f64,
+    /// Tasks assigned per second (0 when no simulator ran).
+    pub tasks_per_sec: f64,
+}
+
+/// One metric comparison between matching experiments.
+#[derive(Debug, Clone)]
+pub struct DiffLine {
+    /// Experiment name.
+    pub experiment: String,
+    /// Metric compared (`elapsed_ns`, `pairs_per_sec`, `tasks_per_sec`).
+    pub metric: &'static str,
+    /// Old (baseline) value.
+    pub old: f64,
+    /// New (candidate) value.
+    pub new: f64,
+    /// Slowdown factor: >1 means the new run is worse on this metric.
+    pub slowdown: f64,
+    /// True when `slowdown` exceeds the tolerance.
+    pub regressed: bool,
+}
+
+/// The full diff between two artifact sets.
+#[derive(Debug, Clone, Default)]
+pub struct DiffResult {
+    /// Metric comparisons, in (experiment, metric) order.
+    pub lines: Vec<DiffLine>,
+    /// Experiments that could not be compared, with the reason.
+    pub skipped: Vec<String>,
+}
+
+impl DiffResult {
+    /// True when any compared metric exceeded its tolerance.
+    pub fn regressed(&self) -> bool {
+        self.lines.iter().any(|l| l.regressed)
+    }
+}
+
+/// Reads every `BENCH_*.json` in `dir` into perf entries, sorted by
+/// experiment name.
+///
+/// # Errors
+/// When the directory is unreadable, holds no artifacts, or an artifact
+/// fails schema validation.
+pub fn load_dir(dir: &Path) -> Result<Vec<PerfEntry>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no BENCH_*.json artifacts in {}", dir.display()));
+    }
+    let mut out = Vec::new();
+    for path in &paths {
+        let content = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        for line in content.lines().filter(|l| !l.trim().is_empty()) {
+            let doc = validate_artifact_line(line)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            out.push(entry_from_doc(&doc)?);
+        }
+    }
+    out.sort_by(|a, b| a.experiment.cmp(&b.experiment));
+    Ok(out)
+}
+
+fn entry_from_doc(doc: &Json) -> Result<PerfEntry, String> {
+    let experiment = doc
+        .get("experiment")
+        .and_then(Json::as_str)
+        .ok_or("artifact missing experiment name")?
+        .to_string();
+    let quick = doc.get("quick").and_then(Json::as_bool).unwrap_or(false);
+    let perf = doc.get("perf").filter(|p| !matches!(p, Json::Null));
+    let num = |field: &str| -> f64 {
+        perf.and_then(|p| p.get(field))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    Ok(PerfEntry {
+        experiment,
+        quick,
+        elapsed_ns: perf
+            .and_then(|p| p.get("elapsed_ns"))
+            .and_then(Json::as_i64)
+            .map(|v| v.max(0) as u64),
+        pairs_per_sec: num("pairs_per_sec"),
+        tasks_per_sec: num("tasks_per_sec"),
+    })
+}
+
+/// Compares `new` against the `old` baseline at the given tolerance.
+/// Experiments present on only one side are skipped with a note.
+pub fn diff(old: &[PerfEntry], new: &[PerfEntry], tolerance: f64) -> DiffResult {
+    let mut result = DiffResult::default();
+    for o in old {
+        let Some(n) = new.iter().find(|n| n.experiment == o.experiment) else {
+            result
+                .skipped
+                .push(format!("{}: missing from new artifacts", o.experiment));
+            continue;
+        };
+        compare_pair(o, n, tolerance, &mut result);
+    }
+    for n in new {
+        if !old.iter().any(|o| o.experiment == n.experiment) {
+            result
+                .skipped
+                .push(format!("{}: missing from old artifacts", n.experiment));
+        }
+    }
+    result
+}
+
+fn compare_pair(old: &PerfEntry, new: &PerfEntry, tolerance: f64, result: &mut DiffResult) {
+    let same_budget = old.quick == new.quick;
+    match (old.elapsed_ns, new.elapsed_ns) {
+        _ if !same_budget => result.skipped.push(format!(
+            "{}: budgets differ (old quick={}, new quick={}); elapsed not compared",
+            old.experiment, old.quick, new.quick
+        )),
+        (Some(o), Some(n)) if o > 0 => {
+            let slowdown = n as f64 / o as f64;
+            result.lines.push(DiffLine {
+                experiment: old.experiment.clone(),
+                metric: "elapsed_ns",
+                old: o as f64,
+                new: n as f64,
+                slowdown,
+                regressed: slowdown > tolerance,
+            });
+        }
+        _ => result
+            .skipped
+            .push(format!("{}: no elapsed_ns on both sides", old.experiment)),
+    }
+    for (metric, o, n) in [
+        ("pairs_per_sec", old.pairs_per_sec, new.pairs_per_sec),
+        ("tasks_per_sec", old.tasks_per_sec, new.tasks_per_sec),
+    ] {
+        // A rate of 0 means "this experiment exercises no such
+        // subsystem" — nothing to regress.
+        if o <= 0.0 {
+            continue;
+        }
+        let slowdown = if n > 0.0 { o / n } else { f64::INFINITY };
+        result.lines.push(DiffLine {
+            experiment: old.experiment.clone(),
+            metric,
+            old: o,
+            new: n,
+            slowdown,
+            regressed: slowdown > tolerance,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, quick: bool, elapsed: u64, pairs: f64, tasks: f64) -> PerfEntry {
+        PerfEntry {
+            experiment: name.into(),
+            quick,
+            elapsed_ns: Some(elapsed),
+            pairs_per_sec: pairs,
+            tasks_per_sec: tasks,
+        }
+    }
+
+    #[test]
+    fn self_comparison_never_regresses() {
+        let set = vec![
+            entry("fig4", true, 5_000_000, 2e6, 3e5),
+            entry("timing", true, 1_000_000, 0.0, 0.0),
+        ];
+        let d = diff(&set, &set, DEFAULT_TOLERANCE);
+        assert!(!d.regressed(), "self-diff must pass: {:?}", d.lines);
+        assert!(d.lines.iter().all(|l| (l.slowdown - 1.0).abs() < 1e-12
+            || l.metric != "elapsed_ns"));
+        // timing has zero throughput on both sides: only elapsed compared.
+        assert_eq!(
+            d.lines.iter().filter(|l| l.experiment == "timing").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn doubled_elapsed_fails_at_default_tolerance() {
+        let old = vec![entry("fig4", true, 5_000_000, 2e6, 3e5)];
+        let new = vec![entry("fig4", true, 10_000_000, 2e6, 3e5)];
+        let d = diff(&old, &new, DEFAULT_TOLERANCE);
+        assert!(d.regressed(), "2x elapsed must trip the 1.5x gate");
+        let bad: Vec<_> = d.lines.iter().filter(|l| l.regressed).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].metric, "elapsed_ns");
+        assert!((bad[0].slowdown - 2.0).abs() < 1e-12);
+        // The same diff passes with a looser gate.
+        assert!(!diff(&old, &new, 2.5).regressed());
+    }
+
+    #[test]
+    fn throughput_collapse_fails_even_across_budgets() {
+        let old = vec![entry("fig4", false, 500_000_000, 2e6, 3e5)];
+        let new = vec![entry("fig4", true, 5_000_000, 2e5, 3e5)];
+        let d = diff(&old, &new, DEFAULT_TOLERANCE);
+        // Budgets differ: elapsed must NOT be compared...
+        assert!(d.lines.iter().all(|l| l.metric != "elapsed_ns"));
+        assert!(d.skipped.iter().any(|s| s.contains("budgets differ")));
+        // ...but the 10x pairs/sec collapse still trips the gate.
+        assert!(d.regressed());
+        assert!(d
+            .lines
+            .iter()
+            .any(|l| l.metric == "pairs_per_sec" && l.regressed));
+    }
+
+    #[test]
+    fn missing_experiments_are_skipped_not_failed() {
+        let old = vec![entry("fig4", true, 1, 0.0, 0.0)];
+        let new = vec![entry("fig3", true, 1, 0.0, 0.0)];
+        let d = diff(&old, &new, DEFAULT_TOLERANCE);
+        assert!(!d.regressed());
+        assert_eq!(d.skipped.len(), 2, "one missing note per direction");
+    }
+
+    #[test]
+    fn zero_new_throughput_is_a_regression() {
+        let old = vec![entry("pipeline", true, 1_000, 1e6, 0.0)];
+        let new = vec![entry("pipeline", true, 1_000, 0.0, 0.0)];
+        let d = diff(&old, &new, DEFAULT_TOLERANCE);
+        assert!(d.regressed());
+        assert!(d
+            .lines
+            .iter()
+            .any(|l| l.metric == "pairs_per_sec" && l.slowdown.is_infinite()));
+    }
+
+    #[test]
+    fn load_dir_round_trips_written_artifacts() {
+        let dir = std::env::temp_dir().join(format!(
+            "qnlg-perfdiff-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut report = crate::Report::new("sample", 7);
+        report.point(Json::obj([("load", Json::num(1.0))]));
+        let ctx = crate::RunContext {
+            quick: true,
+            threads: 1,
+            git: "test".into(),
+            obs: None,
+            perf: Some(crate::report::PerfStats {
+                elapsed_ns: 42_000,
+                pairs_per_sec: 1e6,
+                tasks_per_sec: 2e3,
+            }),
+            series: None,
+        };
+        let line = report.to_json(&ctx).render();
+        crate::report::write_artifact(&dir, "BENCH_sample.json", &format!("{line}\n"))
+            .expect("write artifact");
+        let entries = load_dir(&dir).expect("load artifacts");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].experiment, "sample");
+        assert_eq!(entries[0].elapsed_ns, Some(42_000));
+        assert!((entries[0].pairs_per_sec - 1e6).abs() < 1e-9);
+        let d = diff(&entries, &entries, DEFAULT_TOLERANCE);
+        assert!(!d.regressed());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

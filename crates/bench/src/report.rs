@@ -177,6 +177,13 @@ impl Report {
                 None => Json::Null,
             },
         ));
+        pairs.push((
+            "series".into(),
+            match &ctx.series {
+                Some(s) => s.to_json(),
+                None => Json::Null,
+            },
+        ));
         Json::Obj(pairs)
     }
 }
@@ -242,6 +249,8 @@ pub struct RunContext {
     pub obs: Option<obs::Snapshot>,
     /// Wall-clock timing of this experiment's run.
     pub perf: Option<PerfStats>,
+    /// Windowed counter time series covering this experiment's run.
+    pub series: Option<trace::series::SeriesSnapshot>,
 }
 
 impl RunContext {
@@ -253,6 +262,7 @@ impl RunContext {
             git: git_describe(),
             obs,
             perf: None,
+            series: None,
         }
     }
 }
@@ -390,6 +400,7 @@ pub const REQUIRED_FIELDS: &[&str] = &[
     "points",
     "obs",
     "perf",
+    "series",
 ];
 
 /// Validates one artifact line against the `qnlg.bench.v1` schema.
@@ -432,7 +443,34 @@ pub fn validate_artifact_line(line: &str) -> Result<Json, String> {
             }
         }
     }
+    // `series` must be present; when populated (not the determinism-pinned
+    // null) it needs a window width and a windows array.
+    if let Some(series) = doc.get("series").filter(|s| !matches!(s, Json::Null)) {
+        if series.get("window_ns").and_then(Json::as_i64).is_none() {
+            return Err("'series.window_ns' is not an integer".into());
+        }
+        if series.get("windows").and_then(Json::as_arr).is_none() {
+            return Err("'series.windows' is not an array".into());
+        }
+    }
     Ok(doc)
+}
+
+/// Writes one artifact file into `dir`, creating the directory (and any
+/// missing parents) first. This is the single write path `repro` uses for
+/// `BENCH_*`/`TRACE_*` outputs so `--out some/new/dir` always works.
+///
+/// # Errors
+/// The underlying I/O error, prefixed with the offending path.
+pub fn write_artifact(
+    dir: &std::path::Path,
+    name: &str,
+    contents: &str,
+) -> Result<std::path::PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path)
 }
 
 #[cfg(test)]
@@ -462,6 +500,7 @@ mod tests {
                 pairs_per_sec: 2e6,
                 tasks_per_sec: 4e5,
             }),
+            series: None,
         };
         let line = r.to_json(&ctx).render();
         let doc = validate_artifact_line(&line).expect("valid artifact");
@@ -493,6 +532,63 @@ mod tests {
             validate_artifact_line(r#"{"schema":"qnlg.bench.v2"}"#).is_err(),
             "wrong schema version must be rejected"
         );
+    }
+
+    #[test]
+    fn validator_checks_series_shape() {
+        let r = sample_report();
+        let mut ctx = RunContext {
+            quick: true,
+            threads: 4,
+            git: "test".into(),
+            obs: None,
+            perf: None,
+            series: None,
+        };
+        // Null series is the determinism-pinned form and must validate.
+        let line = r.to_json(&ctx).render();
+        let doc = validate_artifact_line(&line).expect("null series is valid");
+        assert!(matches!(doc.get("series"), Some(Json::Null)));
+
+        // A populated series round-trips with its windows intact.
+        trace::series::start(1_000);
+        trace::series::tick(5_000);
+        ctx.series = Some(trace::series::finish());
+        let populated = r.to_json(&ctx).render();
+        let doc = validate_artifact_line(&populated).expect("populated series is valid");
+        let series = doc.get("series").unwrap();
+        assert_eq!(series.get("window_ns").unwrap().as_i64(), Some(1_000));
+        assert!(series.get("windows").unwrap().as_arr().is_some());
+
+        // A malformed series (windows not an array) is rejected.
+        let bad = line.replace(
+            r#""series":null"#,
+            r#""series":{"window_ns":1000,"windows":1}"#,
+        );
+        assert_ne!(bad, line, "replacement must hit the null series");
+        assert!(validate_artifact_line(&bad).is_err());
+    }
+
+    #[test]
+    fn write_artifact_creates_missing_directories() {
+        let dir = std::env::temp_dir().join(format!(
+            "qnlg-write-artifact-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let nested = dir.join("deep").join("out");
+        assert!(!nested.exists(), "precondition: target dir absent");
+        let path = write_artifact(&nested, "BENCH_x.json", "{\"ok\":true}\n")
+            .expect("writes through missing parents");
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "{\"ok\":true}\n"
+        );
+        // Second write into the now-existing dir overwrites cleanly.
+        write_artifact(&nested, "BENCH_x.json", "{}\n").expect("rewrite");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{}\n");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

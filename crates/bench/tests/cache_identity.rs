@@ -13,6 +13,7 @@ fn canonical_json(report: &qnlg_bench::Report) -> String {
         git: "pinned".into(),
         obs: None,
         perf: None,
+        series: None,
     };
     report.to_json(&ctx).render()
 }

@@ -28,8 +28,8 @@ fn par_sweep_6x10_grid_is_worker_count_invariant() {
 }
 
 /// Renders a report as a `qnlg.bench.v1` JSON line with the
-/// run-environment fields (`threads`, `obs`, `perf`) pinned, so any
-/// remaining byte difference is a real determinism violation.
+/// run-environment fields (`threads`, `obs`, `perf`, `series`) pinned,
+/// so any remaining byte difference is a real determinism violation.
 fn canonical_json(report: &qnlg_bench::Report) -> String {
     let ctx = qnlg_bench::RunContext {
         quick: true,
@@ -37,6 +37,7 @@ fn canonical_json(report: &qnlg_bench::Report) -> String {
         git: "pinned".into(),
         obs: None,
         perf: None,
+        series: None,
     };
     report.to_json(&ctx).render()
 }
@@ -131,6 +132,37 @@ fn fig4_faults_chaos_run_is_deterministic() {
         snap.counter("qnlg.fallback.transitions").unwrap_or(0) > 0,
         "instrumented chaos run must record fallback transitions"
     );
+}
+
+/// Tracing must observe, never perturb: the chaos artifact — the run
+/// with the most trace coverage (per-pair lifecycle, clamp evictions,
+/// governor transitions) — is byte-identical with the event timeline
+/// recording, at both a deliberately tiny ring (constant drop-oldest
+/// wrapping) and a roomy one. Trace toggling happens inside this one
+/// test; events never feed the canonical payload, so parallel tests
+/// cannot observe it.
+#[test]
+fn trace_on_off_and_ring_capacity_leave_artifacts_identical() {
+    let reference =
+        canonical_json(&qnlg_bench::experiments::faults_exp::run_with_threads(2, true));
+    for capacity in [256, 4096] {
+        trace::reset();
+        trace::set_capacity(capacity);
+        trace::set_enabled(true);
+        let report = qnlg_bench::experiments::faults_exp::run_with_threads(2, true);
+        trace::set_enabled(false);
+        let log = trace::drain();
+        trace::set_capacity(trace::DEFAULT_CAPACITY);
+        assert_eq!(
+            canonical_json(&report),
+            reference,
+            "tracing at ring capacity {capacity} changed the artifact"
+        );
+        assert!(
+            !log.events.is_empty(),
+            "traced chaos run must record events at capacity {capacity}"
+        );
+    }
 }
 
 /// The batched entanglement data plane end-to-end: the E8
@@ -250,6 +282,7 @@ fn fig4_artifact_line_matches_schema() {
         git: "test".into(),
         obs: None,
         perf: None,
+        series: None,
     };
     let line = report.to_json(&ctx).render();
     let doc = qnlg_bench::report::validate_artifact_line(&line).expect("valid artifact line");

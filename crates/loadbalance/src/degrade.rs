@@ -77,6 +77,15 @@ impl CoordinationMode {
     fn index(self) -> usize {
         self.gauge_value() as usize
     }
+
+    /// Trace instant name for a transition *into* this mode.
+    fn trace_name(self) -> &'static str {
+        match self {
+            CoordinationMode::Quantum => "mode.quantum",
+            CoordinationMode::ClassicalShared => "mode.classical-shared",
+            CoordinationMode::IndependentRandom => "mode.independent-random",
+        }
+    }
 }
 
 /// Hysteresis thresholds for the fallback state machine.
@@ -267,6 +276,9 @@ pub struct Degrading {
     governor: FallbackGovernor,
     n_servers: usize,
     pair_rounds: u64,
+    /// Trace timeline for this governor's window evaluations and mode
+    /// transitions.
+    track: trace::Track,
 }
 
 impl Degrading {
@@ -289,6 +301,7 @@ impl Degrading {
             governor: FallbackGovernor::new(hysteresis),
             n_servers,
             pair_rounds: 0,
+            track: trace::Track::Governor(trace::next_lane()),
         }
     }
 
@@ -352,7 +365,8 @@ impl AssignmentStrategy for Degrading {
         rng: &mut dyn rand::RngCore,
     ) -> Vec<usize> {
         self.pair_rounds += (tasks.len() / 2) as u64;
-        let (out, delivered, polled) = match self.governor.mode() {
+        let mode_before = self.governor.mode();
+        let (out, delivered, polled) = match mode_before {
             CoordinationMode::Quantum => {
                 let before = self.inner.stats();
                 let out = self.inner.assign_all(tasks, queue_lens, rng);
@@ -370,7 +384,17 @@ impl AssignmentStrategy for Degrading {
                 (self.assign_independent(tasks, rng), delivered, polled)
             }
         };
-        self.governor.observe(delivered, polled);
+        let mode_after = self.governor.observe(delivered, polled);
+        if trace::enabled() {
+            // Governor timeline: one instant per window evaluation, plus
+            // a named instant on each mode transition — the degradation
+            // story of a chaos run at a glance in Perfetto.
+            let t = self.inner.now().as_nanos();
+            trace::instant_sim(self.track, "governor.eval", t);
+            if mode_after != mode_before {
+                trace::instant_sim(self.track, mode_after.trace_name(), t);
+            }
+        }
         out
     }
 

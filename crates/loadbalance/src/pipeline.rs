@@ -110,6 +110,11 @@ impl PipelinePairedQuantum {
         self.distributors.len()
     }
 
+    /// Current simulation time (advanced one timestep per round).
+    pub fn now(&self) -> qnet::SimTime {
+        self.now
+    }
+
     /// Total fault-window edges replayed across all pipelines.
     pub fn fault_transitions(&self) -> u64 {
         self.distributors.iter().map(|d| d.fault_transitions()).sum()

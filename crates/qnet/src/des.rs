@@ -77,6 +77,10 @@ pub struct EventQueue<E> {
     overflow: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: SimTime,
+    /// Trace timeline for wheel anomalies ([`Self::set_trace_track`]):
+    /// an overflow push means the wheel window was undersized for the
+    /// event, which is exactly what an operator tunes `with_profile` on.
+    track: Option<trace::Track>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -125,12 +129,18 @@ impl<E> EventQueue<E> {
             overflow: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            track: None,
         }
     }
 
     /// The time of the most recently popped event (simulation "now").
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Assigns the trace timeline for this queue's overflow instants.
+    pub fn set_trace_track(&mut self, track: trace::Track) {
+        self.track = Some(track);
     }
 
     /// Schedules `payload` at `time`.
@@ -158,6 +168,9 @@ impl<E> EventQueue<E> {
             self.buckets[slot].push(entry);
             self.wheel_len += 1;
         } else {
+            if let (Some(track), true) = (self.track, trace::enabled()) {
+                trace::instant_sim(track, "des.overflow", time.as_nanos());
+            }
             self.overflow.push(entry);
         }
     }

@@ -61,6 +61,11 @@ static EPR_MISSES: obs::LazyCounter = obs::LazyCounter::new("qnet.epr.misses");
 static EPR_LOST_OUTAGE: obs::LazyCounter = obs::LazyCounter::new("qnet.epr.lost_outage");
 /// Emissions suppressed by a source brownout (Poisson thinning).
 static EPR_SUPPRESSED: obs::LazyCounter = obs::LazyCounter::new("qnet.epr.brownout_suppressed");
+/// Emission-to-consumption latency of delivered pairs, in sim ns.
+static DELIVERY_LATENCY_NS: obs::LazyHist = obs::LazyHist::new("qnet.pair.delivery_latency_ns");
+/// Storage dwell (fiber arrival to consumption) per consumed half, in
+/// sim ns.
+static PAIR_DWELL_NS: obs::LazyHist = obs::LazyHist::new("qnet.pair.dwell_ns");
 
 /// Which buffered pair a consumption request takes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -201,6 +206,11 @@ pub struct EntanglementDistributor {
     p_pair: f64,
     delay_a: Duration,
     delay_b: Duration,
+    /// Process-unique trace lane: pair ids are sequential per
+    /// distributor, so `(lane, pair_id)` identifies a pair globally in
+    /// one trace. Allocated unconditionally (an atomic bump) so enabling
+    /// tracing mid-run still sees distinct tracks.
+    lane: u32,
 }
 
 impl EntanglementDistributor {
@@ -218,14 +228,22 @@ impl EntanglementDistributor {
         // rate.
         let horizon = delay_a.max(delay_b) + Duration::from_micros(10);
         let batched = config.emission == EmissionMode::Batched;
+        let lane = trace::next_lane();
+        let mut nic_a = nic(&config);
+        let mut nic_b = nic(&config);
+        nic_a.set_trace_track(trace::Track::Qnic { lane, side: trace::Side::A });
+        nic_b.set_trace_track(trace::Track::Qnic { lane, side: trace::Side::B });
+        let mut arrivals = EventQueue::with_profile(config.source.rate_hz(), horizon);
+        arrivals.set_trace_track(trace::Track::Source(lane));
         EntanglementDistributor {
-            nic_a: nic(&config),
-            nic_b: nic(&config),
+            nic_a,
+            nic_b,
             faults: FaultClock::new(&config.faults),
             p_pair: config.link_a.survival_probability() * config.link_b.survival_probability(),
             delay_a,
             delay_b,
-            arrivals: EventQueue::with_profile(config.source.rate_hz(), horizon),
+            lane,
+            arrivals,
             config,
             next_pair_id: 0,
             clock: SimTime::ZERO,
@@ -252,16 +270,25 @@ impl EntanglementDistributor {
         self.faults.transitions()
     }
 
-    /// Pushes the current fault state into the NICs: capacity clamps
-    /// (evicting over-quota qubits, whose partner halves are pruned) and
-    /// lifetime scaling.
-    fn apply_fault_state(&mut self) {
+    /// Pushes the fault state in force at `at` into the NICs: capacity
+    /// clamps (evicting over-quota qubits, whose partner halves are
+    /// pruned) and lifetime scaling.
+    fn apply_fault_state(&mut self, at: SimTime) {
         let state = self.faults.state();
+        let tracing = trace::enabled();
         for ev in self.nic_a.set_capacity_clamp(state.capacity_clamp) {
             self.nic_b.take_pair_id(ev.pair_id);
+            if tracing {
+                let track = trace::Track::Qnic { lane: self.lane, side: trace::Side::A };
+                trace::pair(track, trace::PairStage::Dropped, ev.pair_id, at.as_nanos());
+            }
         }
         for ev in self.nic_b.set_capacity_clamp(state.capacity_clamp) {
             self.nic_a.take_pair_id(ev.pair_id);
+            if tracing {
+                let track = trace::Track::Qnic { lane: self.lane, side: trace::Side::B };
+                trace::pair(track, trace::PairStage::Dropped, ev.pair_id, at.as_nanos());
+            }
         }
         self.nic_a.set_lifetime_scale(state.lifetime_factor);
         self.nic_b.set_lifetime_scale(state.lifetime_factor);
@@ -352,6 +379,10 @@ impl EntanglementDistributor {
             }
             let id = self.next_pair_id + lost;
             self.next_pair_id += lost + 1;
+            // Only the survivor has an individual emission time — the
+            // batch-counted fiber losses never reach the wheel and carry
+            // no lifecycle events.
+            trace::pair(trace::Track::Source(self.lane), trace::PairStage::Emitted, id, t.as_nanos());
             self.schedule_survivor(id, t);
         }
     }
@@ -385,6 +416,10 @@ impl EntanglementDistributor {
             EPR_EMITTED.inc();
             let id = self.next_pair_id;
             self.next_pair_id += 1;
+            // Per-emission mode (faults active): every emitted pair gets
+            // an event; pairs the outage or fiber absorbs simply have no
+            // later lifecycle stages.
+            trace::pair(trace::Track::Source(self.lane), trace::PairStage::Emitted, id, t.as_nanos());
             if !(state.link_a_up && state.link_b_up) {
                 // A downed link absorbs the pair with certainty — no draw.
                 self.stats.lost_in_fiber += 1;
@@ -410,9 +445,16 @@ impl EntanglementDistributor {
                 return;
             }
             let (_, rec) = self.arrivals.pop().expect("peeked an event");
+            if trace::enabled() {
+                let a = trace::Track::Qnic { lane: self.lane, side: trace::Side::A };
+                let b = trace::Track::Qnic { lane: self.lane, side: trace::Side::B };
+                trace::pair(a, trace::PairStage::FiberArrival, rec.id, rec.arrive_a.as_nanos());
+                trace::pair(b, trace::PairStage::FiberArrival, rec.id, rec.arrive_b.as_nanos());
+            }
             // A full memory overwrites its oldest qubit; the evicted
             // qubit's partner half becomes an orphan and is pruned here
-            // (symmetric memories usually evict the same pair).
+            // (symmetric memories usually evict the same pair). The NICs
+            // emit the stored/dropped lifecycle events themselves.
             if let Some(ev) = self.nic_a.store(rec.id, rec.arrive_a) {
                 self.nic_b.take_pair_id(ev.pair_id);
             }
@@ -436,7 +478,7 @@ impl EntanglementDistributor {
             self.generate_until(edge, true);
             self.drain_arrivals(edge, true);
             self.faults.advance_through(edge);
-            self.apply_fault_state();
+            self.apply_fault_state(edge);
             self.refresh_regime(edge);
         }
         self.generate_until(now, false);
@@ -447,6 +489,8 @@ impl EntanglementDistributor {
         // discarded lazily by the consume path and eventually age out —
         // they occupy memory until then, exactly as a real half-pair would.
         self.clock = now;
+        // Windowed time series ride the sim clock of whoever advances.
+        trace::series::tick(now.as_nanos());
     }
 
     /// Pops the next deliverable pair per the consume policy, pruning
@@ -472,6 +516,27 @@ impl EntanglementDistributor {
         }
     }
 
+    /// Accounts one delivery at `now`: the consumed lifecycle event plus
+    /// the exact delivery-latency (emission → consumption, recovered from
+    /// the A-half's arrival minus the known fiber delay) and per-half
+    /// storage-dwell histograms.
+    fn record_delivery(&self, qa: &StoredQubit, qb: &StoredQubit, now: SimTime) {
+        if trace::enabled() {
+            trace::pair(
+                trace::Track::Source(self.lane),
+                trace::PairStage::Consumed,
+                qa.pair_id,
+                now.as_nanos(),
+            );
+        }
+        if obs::enabled() {
+            let emitted_ns = qa.arrival.as_nanos().saturating_sub(self.delay_a.as_nanos() as u64);
+            DELIVERY_LATENCY_NS.record(now.as_nanos().saturating_sub(emitted_ns));
+            PAIR_DWELL_NS.record(now.as_nanos().saturating_sub(qa.arrival.as_nanos()));
+            PAIR_DWELL_NS.record(now.as_nanos().saturating_sub(qb.arrival.as_nanos()));
+        }
+    }
+
     /// Consumes a buffered pair at `now` as a full density-matrix
     /// [`SharedPair`], applying storage decay to both halves — the exact
     /// gate-evolution oracle (`QNLG_EXACT_QSIM=1` routes consumers here).
@@ -479,6 +544,7 @@ impl EntanglementDistributor {
     pub fn take_pair(&mut self, now: SimTime) -> Option<SharedPair> {
         self.advance_to(now);
         let (qa, qb) = self.pop_delivery()?;
+        self.record_delivery(&qa, &qb, now);
         // Joint state at delivery, then per-half storage decay.
         let rho = if self.config.source.visibility() >= 1.0 {
             DensityMatrix::from_pure(&qsim::bell::phi_plus())
@@ -501,6 +567,7 @@ impl EntanglementDistributor {
     pub fn take_werner(&mut self, now: SimTime) -> Option<WernerPair> {
         self.advance_to(now);
         let (qa, qb) = self.pop_delivery()?;
+        self.record_delivery(&qa, &qb, now);
         let retain_a = self.nic_a.retention(qa.arrival, now);
         let retain_b = self.nic_b.retention(qb.arrival, now);
         Some(

@@ -46,6 +46,9 @@ pub struct Qnic {
     clamp: Option<usize>,
     /// Fault-injected τ multiplier ([`Self::set_lifetime_scale`]).
     lifetime_scale: f64,
+    /// Trace timeline this NIC's pair-lifecycle events land on
+    /// ([`Self::set_trace_track`]); `None` keeps the NIC silent.
+    track: Option<trace::Track>,
     /// Qubits dropped because memory was full on arrival.
     pub dropped_full: u64,
     /// Qubits evicted because they exceeded `max_age`.
@@ -70,6 +73,7 @@ impl Qnic {
             max_age,
             clamp: None,
             lifetime_scale: 1.0,
+            track: None,
             dropped_full: 0,
             expired: 0,
             clamp_evicted: 0,
@@ -89,6 +93,12 @@ impl Qnic {
     /// Coherence lifetime τ (nominal, before any fault scaling).
     pub fn lifetime(&self) -> Duration {
         self.lifetime
+    }
+
+    /// Assigns the trace timeline for this NIC's stored/expired/dropped
+    /// pair-lifecycle events (the distributor wires one per endpoint).
+    pub fn set_trace_track(&mut self, track: trace::Track) {
+        self.track = Some(track);
     }
 
     /// Nominal memory capacity.
@@ -157,6 +167,12 @@ impl Qnic {
         };
         self.slots.push_back(StoredQubit { pair_id, arrival });
         QNIC_OCCUPANCY.set_max(self.slots.len() as i64);
+        if let (Some(track), true) = (self.track, trace::enabled()) {
+            if let Some(ev) = evicted {
+                trace::pair(track, trace::PairStage::Dropped, ev.pair_id, arrival.as_nanos());
+            }
+            trace::pair(track, trace::PairStage::Stored, pair_id, arrival.as_nanos());
+        }
         evicted
     }
 
@@ -165,7 +181,21 @@ impl Qnic {
     pub fn evict_expired(&mut self, now: SimTime) -> usize {
         let before = self.slots.len();
         let max_age = self.max_age;
-        self.slots.retain(|q| now.duration_since(q.arrival) <= max_age);
+        if let (Some(track), true) = (self.track, trace::enabled()) {
+            // Tracing wants the evicted ids, so walk explicitly; the
+            // untraced path below keeps the allocation-free `retain`.
+            let mut kept = VecDeque::with_capacity(self.slots.len());
+            for q in self.slots.drain(..) {
+                if now.duration_since(q.arrival) <= max_age {
+                    kept.push_back(q);
+                } else {
+                    trace::pair(track, trace::PairStage::Expired, q.pair_id, now.as_nanos());
+                }
+            }
+            self.slots = kept;
+        } else {
+            self.slots.retain(|q| now.duration_since(q.arrival) <= max_age);
+        }
         let evicted = before - self.slots.len();
         self.expired += evicted as u64;
         QNIC_EXPIRED.add(evicted as u64);

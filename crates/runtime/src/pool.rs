@@ -70,7 +70,12 @@ where
     let len = items.len();
     ITEMS_EXECUTED.add(len as u64);
     if threads <= 1 || len <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        // The inline path is its own span on the main track, so a
+        // single-core trace still shows where map time went.
+        trace::span_begin(trace::Track::Main, "pool.map.inline");
+        let out = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        trace::span_end(trace::Track::Main, "pool.map.inline");
+        return out;
     }
     let workers = threads.min(len);
     let chunk = len.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
@@ -114,16 +119,20 @@ where
                         })
                     });
                     let Some((start, end)) = next else { break };
+                    let track = trace::Track::Worker(w as u32);
                     if stolen {
                         CHUNKS_STOLEN.inc();
+                        trace::instant_wall(track, "pool.steal");
                     } else {
                         CHUNKS_OWN.inc();
                     }
                     CHUNK_ITEMS.record_shard(w, (end - start) as u64);
                     let t0 = timing.then(Instant::now);
+                    trace::span_begin(track, "pool.chunk");
                     for (i, item) in items.iter().enumerate().take(end).skip(start) {
                         local.push((i, f(i, item)));
                     }
+                    trace::span_end(track, "pool.chunk");
                     if let Some(t0) = t0 {
                         busy += t0.elapsed();
                     }
@@ -181,11 +190,16 @@ where
             handles.push(scope.spawn(move || {
                 WORKERS_SPAWNED.inc();
                 CHUNK_ITEMS.record_shard(k, part.len() as u64);
+                let track = trace::Track::Worker(k as u32);
+                trace::span_begin(track, "pool.chunk");
                 let base = k * chunk;
-                part.iter_mut()
+                let out = part
+                    .iter_mut()
                     .enumerate()
                     .map(|(j, t)| f(base + j, t))
-                    .collect::<Vec<R>>()
+                    .collect::<Vec<R>>();
+                trace::span_end(track, "pool.chunk");
+                out
             }));
         }
         // Joining in spawn order keeps results in item order.

@@ -1,0 +1,313 @@
+//! Trace exporters: Chrome `trace_event` JSON and compact JSON-lines.
+//!
+//! The Chrome form loads directly in Perfetto (<https://ui.perfetto.dev>)
+//! or `chrome://tracing`: wall-clock events (runtime workers) and
+//! sim-clock events (the entanglement plane) are emitted as two separate
+//! *processes* so the two time axes never share a track, with one named
+//! thread per runtime worker, per QNIC side, per source, and per
+//! governor. Timestamps are microseconds as the format requires; the
+//! sub-µs detail survives because `ts` is fractional.
+//!
+//! The JSON-lines form is for ad-hoc tooling (`jq`, spreadsheets): a
+//! header object with the drop count, then one object per event.
+
+use crate::event::{Event, EventKind, Side, Track};
+use crate::TraceLog;
+use obs::json::Json;
+
+/// Wall-clock events: Chrome-trace process 1.
+const PID_WALL: u64 = 1;
+/// Sim-clock events: Chrome-trace process 2.
+const PID_SIM: u64 = 2;
+
+/// Stable (pid, tid) for a track. Thread-id spaces within the sim
+/// process: governors low, distributor lanes (source + two QNICs) above
+/// them.
+fn track_ids(track: Track) -> (u64, u64) {
+    match track {
+        Track::Main => (PID_WALL, 0),
+        Track::Worker(w) => (PID_WALL, 1 + u64::from(w)),
+        Track::Governor(g) => (PID_SIM, 1 + u64::from(g)),
+        Track::Source(l) => (PID_SIM, 1_000_000 + 4 * u64::from(l)),
+        Track::Qnic { lane, side } => {
+            let s = match side {
+                Side::A => 1,
+                Side::B => 2,
+            };
+            (PID_SIM, 1_000_000 + 4 * u64::from(lane) + s)
+        }
+    }
+}
+
+/// Human-readable track name for Perfetto's thread list.
+fn track_name(track: Track) -> String {
+    match track {
+        Track::Main => "main".into(),
+        Track::Worker(w) => format!("worker-{w}"),
+        Track::Source(l) => format!("source-{l}"),
+        Track::Qnic { lane, side } => format!("qnic-{lane}{}", side.name()),
+        Track::Governor(g) => format!("governor-{g}"),
+    }
+}
+
+/// The distributor lane a track belongs to, when it has one. Pair ids
+/// are unique per lane, not globally, so cross-referencing lifecycle
+/// events needs (lane, pair).
+fn track_lane(track: Track) -> Option<u32> {
+    match track {
+        Track::Source(l) | Track::Qnic { lane: l, .. } => Some(l),
+        Track::Main | Track::Worker(_) | Track::Governor(_) => None,
+    }
+}
+
+/// Event name as shown on the timeline.
+fn event_name(kind: &EventKind) -> String {
+    match kind {
+        EventKind::Begin(n) | EventKind::End(n) | EventKind::Instant(n) => (*n).into(),
+        EventKind::Pair { stage, .. } => format!("pair.{}", stage.name()),
+    }
+}
+
+/// Sorts events into a stable export order: clock domain, then track,
+/// then time (ties keep the cross-ring merge deterministic via the
+/// payload).
+fn sorted(log: &TraceLog) -> Vec<Event> {
+    let mut events = log.events.clone();
+    events.sort_by_key(|e| {
+        let (pid, tid) = track_ids(e.track);
+        (pid, tid, e.t_ns, format!("{:?}", e.kind))
+    });
+    events
+}
+
+/// Renders the log as one Chrome `trace_event` JSON document
+/// (`{"traceEvents": [...]}`), loadable in Perfetto.
+pub fn chrome_trace(log: &TraceLog) -> Json {
+    let events = sorted(log);
+    let mut out: Vec<Json> = Vec::with_capacity(events.len() + 16);
+
+    // Metadata: name the two processes and every thread that appears.
+    let mut seen: Vec<(u64, u64, Track)> = Vec::new();
+    for e in &events {
+        let (pid, tid) = track_ids(e.track);
+        if !seen.iter().any(|&(p, t, _)| p == pid && t == tid) {
+            seen.push((pid, tid, e.track));
+        }
+    }
+    for (pid, name) in [(PID_WALL, "runtime (wall clock)"), (PID_SIM, "simulation (sim ns)")] {
+        if seen.iter().any(|&(p, _, _)| p == pid) {
+            out.push(Json::obj([
+                ("name", Json::str("process_name")),
+                ("ph", Json::str("M")),
+                ("pid", Json::uint(pid)),
+                ("tid", Json::uint(0)),
+                ("args", Json::obj([("name", Json::str(name))])),
+            ]));
+        }
+    }
+    for &(pid, tid, track) in &seen {
+        out.push(Json::obj([
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::uint(pid)),
+            ("tid", Json::uint(tid)),
+            ("args", Json::obj([("name", Json::str(track_name(track)))])),
+        ]));
+    }
+
+    for e in &events {
+        let (pid, tid) = track_ids(e.track);
+        let ts = Json::Num(e.t_ns as f64 / 1e3);
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("name".into(), Json::str(event_name(&e.kind))),
+            ("pid".into(), Json::uint(pid)),
+            ("tid".into(), Json::uint(tid)),
+            ("ts".into(), ts),
+        ];
+        match e.kind {
+            EventKind::Begin(_) => pairs.push(("ph".into(), Json::str("B"))),
+            EventKind::End(_) => pairs.push(("ph".into(), Json::str("E"))),
+            EventKind::Instant(_) => {
+                pairs.push(("ph".into(), Json::str("i")));
+                pairs.push(("s".into(), Json::str("t")));
+            }
+            EventKind::Pair { id, .. } => {
+                pairs.push(("ph".into(), Json::str("i")));
+                pairs.push(("s".into(), Json::str("t")));
+                let mut args = vec![("pair", Json::uint(id))];
+                if let Some(lane) = track_lane(e.track) {
+                    args.push(("lane", Json::uint(u64::from(lane))));
+                }
+                pairs.push(("args".into(), Json::obj(args)));
+            }
+        }
+        out.push(Json::Obj(pairs));
+    }
+
+    Json::obj([
+        ("traceEvents", Json::Arr(out)),
+        ("displayTimeUnit", Json::str("ns")),
+        (
+            "otherData",
+            Json::obj([("dropped_events", Json::uint(log.dropped))]),
+        ),
+    ])
+}
+
+/// Renders the log as compact JSON-lines: a `qnlg.trace.v1` header
+/// object (schema, event count, drop count), then one object per event.
+pub fn json_lines(log: &TraceLog) -> String {
+    let events = sorted(log);
+    let mut out = String::new();
+    out.push_str(
+        &Json::obj([
+            ("schema", Json::str("qnlg.trace.v1")),
+            ("events", Json::uint(events.len() as u64)),
+            ("dropped", Json::uint(log.dropped)),
+        ])
+        .render(),
+    );
+    out.push('\n');
+    for e in &events {
+        let clock = if e.wall { "wall" } else { "sim" };
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("t_ns".into(), Json::uint(e.t_ns)),
+            ("clock".into(), Json::str(clock)),
+            ("track".into(), Json::str(track_name(e.track))),
+        ];
+        match e.kind {
+            EventKind::Begin(n) => {
+                pairs.push(("kind".into(), Json::str("begin")));
+                pairs.push(("name".into(), Json::str(n)));
+            }
+            EventKind::End(n) => {
+                pairs.push(("kind".into(), Json::str("end")));
+                pairs.push(("name".into(), Json::str(n)));
+            }
+            EventKind::Instant(n) => {
+                pairs.push(("kind".into(), Json::str("instant")));
+                pairs.push(("name".into(), Json::str(n)));
+            }
+            EventKind::Pair { stage, id } => {
+                pairs.push(("kind".into(), Json::str("pair")));
+                pairs.push(("stage".into(), Json::str(stage.name())));
+                pairs.push(("pair".into(), Json::uint(id)));
+                if let Some(lane) = track_lane(e.track) {
+                    pairs.push(("lane".into(), Json::uint(u64::from(lane))));
+                }
+            }
+        }
+        out.push_str(&Json::Obj(pairs).render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PairStage;
+
+    fn sample_log() -> TraceLog {
+        TraceLog {
+            events: vec![
+                Event {
+                    t_ns: 2_500,
+                    wall: false,
+                    track: Track::Source(0),
+                    kind: EventKind::Pair {
+                        stage: PairStage::Emitted,
+                        id: 9,
+                    },
+                },
+                Event {
+                    t_ns: 100,
+                    wall: true,
+                    track: Track::Worker(1),
+                    kind: EventKind::Begin("chunk"),
+                },
+                Event {
+                    t_ns: 900,
+                    wall: true,
+                    track: Track::Worker(1),
+                    kind: EventKind::End("chunk"),
+                },
+                Event {
+                    t_ns: 7_000,
+                    wall: false,
+                    track: Track::Qnic {
+                        lane: 0,
+                        side: Side::A,
+                    },
+                    kind: EventKind::Pair {
+                        stage: PairStage::Consumed,
+                        id: 9,
+                    },
+                },
+            ],
+            dropped: 3,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_separates_clock_domains() {
+        let doc = chrome_trace(&sample_log());
+        let text = doc.render();
+        let parsed = Json::parse(&text).expect("exporter emits valid JSON");
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        // 2 process_name + 3 thread_name + 4 events.
+        assert_eq!(events.len(), 9);
+        for e in events {
+            assert!(e.get("ph").is_some() && e.get("pid").is_some() && e.get("tid").is_some());
+        }
+        let pair_events: Vec<&Json> = events
+            .iter()
+            .filter(|e| {
+                e.get("name")
+                    .and_then(Json::as_str)
+                    .is_some_and(|n| n.starts_with("pair."))
+            })
+            .collect();
+        assert_eq!(pair_events.len(), 2);
+        for e in &pair_events {
+            assert_eq!(e.get("pid").unwrap().as_i64(), Some(PID_SIM as i64));
+            assert_eq!(e.get("args").unwrap().get("pair").unwrap().as_i64(), Some(9));
+            assert_eq!(e.get("args").unwrap().get("lane").unwrap().as_i64(), Some(0));
+        }
+        // Delivery latency is derivable: consumed.ts − emitted.ts.
+        let ts = |name: &str| {
+            pair_events
+                .iter()
+                .find(|e| e.get("name").unwrap().as_str() == Some(name))
+                .unwrap()
+                .get("ts")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        };
+        assert!((ts("pair.consumed") - ts("pair.emitted") - 4.5).abs() < 1e-9);
+        assert_eq!(
+            parsed
+                .get("otherData")
+                .unwrap()
+                .get("dropped_events")
+                .unwrap()
+                .as_i64(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn json_lines_has_header_and_one_object_per_event() {
+        let text = json_lines(&sample_log());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        let header = Json::parse(lines[0]).unwrap();
+        assert_eq!(header.get("schema").unwrap().as_str(), Some("qnlg.trace.v1"));
+        assert_eq!(header.get("dropped").unwrap().as_i64(), Some(3));
+        for line in &lines[1..] {
+            let e = Json::parse(line).expect("valid event line");
+            assert!(e.get("t_ns").is_some() && e.get("clock").is_some());
+        }
+    }
+}

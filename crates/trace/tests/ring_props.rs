@@ -1,0 +1,72 @@
+//! Property-based invariants of the drop-oldest event ring: whatever the
+//! capacity and push count, the retained suffix is exactly the newest
+//! `min(pushes, capacity)` events in push order, and the dropped count is
+//! exactly `pushes − retained`.
+
+use proptest::prelude::*;
+use trace::{Event, EventKind, PairStage, Ring, Track};
+
+fn nth_event(n: u64) -> Event {
+    Event {
+        t_ns: n,
+        wall: false,
+        track: Track::Main,
+        kind: EventKind::Pair {
+            stage: PairStage::Emitted,
+            id: n,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn drop_oldest_keeps_the_newest_suffix_in_order(
+        capacity in 1usize..300,
+        pushes in 0u64..2_000,
+    ) {
+        let ring = Ring::new(capacity);
+        for n in 0..pushes {
+            ring.push(nth_event(n));
+        }
+        let retained = ring.drain_events();
+        let expect_len = (pushes as usize).min(capacity);
+        prop_assert_eq!(retained.len(), expect_len);
+        prop_assert_eq!(ring.written(), pushes);
+        prop_assert_eq!(ring.dropped(), pushes - expect_len as u64);
+        // The survivors are the newest `expect_len` pushes, oldest first.
+        let first = pushes - expect_len as u64;
+        for (i, ev) in retained.iter().enumerate() {
+            prop_assert_eq!(ev.t_ns, first + i as u64);
+            prop_assert!(matches!(ev.kind, EventKind::Pair { id, .. } if id == first + i as u64));
+        }
+    }
+
+    #[test]
+    fn interleaved_drains_partition_the_stream(
+        capacity in 1usize..64,
+        first_batch in 0u64..200,
+        second_batch in 0u64..200,
+    ) {
+        // Drain between two quiesced batches: each drain sees only its
+        // own batch's suffix, and drop counts are per-ring-lifetime.
+        let ring = Ring::new(capacity);
+        for n in 0..first_batch {
+            ring.push(nth_event(n));
+        }
+        let got_first = ring.drain_events();
+        prop_assert_eq!(got_first.len(), (first_batch as usize).min(capacity));
+        // A fresh ring (the registry's generation bump in practice).
+        let ring2 = Ring::new(capacity);
+        for n in first_batch..first_batch + second_batch {
+            ring2.push(nth_event(n));
+        }
+        let got_second = ring2.drain_events();
+        prop_assert_eq!(got_second.len(), (second_batch as usize).min(capacity));
+        prop_assert_eq!(ring2.dropped(), second_batch.saturating_sub(capacity as u64));
+        if let (Some(last1), Some(first2)) = (got_first.last(), got_second.first()) {
+            prop_assert!(last1.t_ns < first2.t_ns, "batches must not overlap");
+        }
+    }
+}
