@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test clippy bench-compile bench-sweep bench-xor bench-plane bench-scale bench-trace repro-quick trace-quick perf-diff test-stat
+.PHONY: ci build test clippy bench-compile bench-sweep bench-xor bench-plane bench-scale bench-trace bench-ghz repro-quick trace-quick perf-diff test-stat
 
 ci: build test clippy bench-compile repro-quick
 
@@ -48,6 +48,12 @@ bench-scale:
 # traced vs untraced (the cost of --trace runs). Numbers in DESIGN.md §5.
 bench-trace:
 	$(CARGO) bench -p qnlg-bench --bench trace
+
+# Multiparty-round ablation: exact GHZ statevector vs closed-form noisy
+# kernel vs batched kernel play, at n = 3/6/10 — the DESIGN.md §5 ghz
+# rows (acceptance bar: kernel ≥5x over statevector at n = 3).
+bench-ghz:
+	$(CARGO) bench -p qnlg-bench --bench ghz
 
 # Quick-budget chaos run with the event timeline on: writes
 # artifacts/TRACE_fig4-faults.json (Chrome trace_event — load in

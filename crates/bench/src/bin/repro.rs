@@ -42,6 +42,7 @@
 //! | noise            | §3 error margins: visibility/storage (E6)        |
 //! | hybrid           | §4.1 caveat: dedicated-server baseline (E7)      |
 //! | pipeline         | E8: hardware-in-the-loop Figure 4                |
+//! | ghz              | E9: multiparty Mermin/Magic-Square crossover     |
 
 use qnlg_bench::report::{validate_artifact_line, write_artifact, PerfStats, RunContext};
 use qnlg_bench::{experiments, perfdiff, Report, Table};
@@ -118,10 +119,11 @@ fn emit(out: &RunOutput, opts: &Options) -> bool {
         // Timing is machine-dependent, so it goes to stderr: stdout
         // stays byte-identical across runs and thread counts.
         eprintln!(
-            "perf: {:.1} ms ({:.2e} pairs/s, {:.2e} tasks/s)",
+            "perf: {:.1} ms ({:.2e} pairs/s, {:.2e} tasks/s, {:.2e} rounds/s)",
             out.perf.elapsed_ns as f64 / 1e6,
             out.perf.pairs_per_sec,
-            out.perf.tasks_per_sec
+            out.perf.tasks_per_sec,
+            out.perf.rounds_per_sec
         );
     }
     let Some(dir) = &opts.out else {

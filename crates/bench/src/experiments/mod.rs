@@ -6,6 +6,7 @@ pub mod ecmp_exp;
 pub mod faults_exp;
 pub mod fig3;
 pub mod fig4;
+pub mod ghz_exp;
 pub mod hybrid_exp;
 pub mod noise_exp;
 pub mod pipeline_exp;
@@ -27,6 +28,7 @@ pub const ALL: &[&str] = &[
     "noise",
     "hybrid",
     "pipeline",
+    "ghz",
 ];
 
 /// Dispatches one experiment by name, returning its typed report.
@@ -45,6 +47,7 @@ pub fn run(name: &str, quick: bool) -> Option<crate::Report> {
         "noise" => noise_exp::run(quick),
         "hybrid" => hybrid_exp::run(quick),
         "pipeline" => pipeline_exp::run(quick),
+        "ghz" => ghz_exp::run(quick),
         _ => return None,
     })
 }

@@ -32,6 +32,9 @@ pub struct PerfEntry {
     pub pairs_per_sec: f64,
     /// Tasks assigned per second (0 when no simulator ran).
     pub tasks_per_sec: f64,
+    /// Game rounds played per second (0 when no game kernel ran; absent
+    /// in pre-kernel artifacts, which reads as 0 and is skipped).
+    pub rounds_per_sec: f64,
 }
 
 /// One metric comparison between matching experiments.
@@ -124,6 +127,7 @@ fn entry_from_doc(doc: &Json) -> Result<PerfEntry, String> {
             .map(|v| v.max(0) as u64),
         pairs_per_sec: num("pairs_per_sec"),
         tasks_per_sec: num("tasks_per_sec"),
+        rounds_per_sec: num("rounds_per_sec"),
     })
 }
 
@@ -175,6 +179,7 @@ fn compare_pair(old: &PerfEntry, new: &PerfEntry, tolerance: f64, result: &mut D
     for (metric, o, n) in [
         ("pairs_per_sec", old.pairs_per_sec, new.pairs_per_sec),
         ("tasks_per_sec", old.tasks_per_sec, new.tasks_per_sec),
+        ("rounds_per_sec", old.rounds_per_sec, new.rounds_per_sec),
     ] {
         // A rate of 0 means "this experiment exercises no such
         // subsystem" — nothing to regress.
@@ -204,6 +209,7 @@ mod tests {
             elapsed_ns: Some(elapsed),
             pairs_per_sec: pairs,
             tasks_per_sec: tasks,
+            rounds_per_sec: 0.0,
         }
     }
 
@@ -294,6 +300,7 @@ mod tests {
                 elapsed_ns: 42_000,
                 pairs_per_sec: 1e6,
                 tasks_per_sec: 2e3,
+                rounds_per_sec: 5e5,
             }),
             series: None,
         };
@@ -305,6 +312,7 @@ mod tests {
         assert_eq!(entries[0].experiment, "sample");
         assert_eq!(entries[0].elapsed_ns, Some(42_000));
         assert!((entries[0].pairs_per_sec - 1e6).abs() < 1e-9);
+        assert!((entries[0].rounds_per_sec - 5e5).abs() < 1e-9);
         let d = diff(&entries, &entries, DEFAULT_TOLERANCE);
         assert!(!d.regressed());
         let _ = std::fs::remove_dir_all(&dir);

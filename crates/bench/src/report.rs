@@ -173,6 +173,7 @@ impl Report {
                     ("elapsed_ns", Json::uint(p.elapsed_ns)),
                     ("pairs_per_sec", Json::num(p.pairs_per_sec)),
                     ("tasks_per_sec", Json::num(p.tasks_per_sec)),
+                    ("rounds_per_sec", Json::num(p.rounds_per_sec)),
                 ]),
                 None => Json::Null,
             },
@@ -214,6 +215,9 @@ pub struct PerfStats {
     /// Load-balancer task assignments per wall-clock second
     /// (`lb.tasks.assigned / elapsed`); 0 when no simulator runs.
     pub tasks_per_sec: f64,
+    /// Multiparty game rounds played per wall-clock second
+    /// (`games.ghz.rounds / elapsed`); 0 when no game kernel runs.
+    pub rounds_per_sec: f64,
 }
 
 impl PerfStats {
@@ -231,6 +235,7 @@ impl PerfStats {
             elapsed_ns,
             pairs_per_sec: counter("qnet.epr.emitted") / secs,
             tasks_per_sec: counter("lb.tasks.assigned") / secs,
+            rounds_per_sec: counter("games.ghz.rounds") / secs,
         }
     }
 }
@@ -499,6 +504,7 @@ mod tests {
                 elapsed_ns: 1_500_000,
                 pairs_per_sec: 2e6,
                 tasks_per_sec: 4e5,
+                rounds_per_sec: 3e6,
             }),
             series: None,
         };

@@ -270,6 +270,58 @@ fn fig4_scale_quick_artifact_is_shard_thread_and_obs_invariant() {
     );
 }
 
+/// The closed-form GHZ kernel end-to-end: the ghz quick artifact
+/// (Mermin N × visibility sweep + Magic Square, all through the
+/// one-draw-per-round kernel) must be byte-identical across worker
+/// counts, with obs recording on, and with the event timeline recording
+/// — the CI determinism arm for `BENCH_ghz.json`.
+#[test]
+fn ghz_kernel_artifact_is_thread_obs_and_trace_invariant() {
+    let sequential = qnlg_bench::experiments::ghz_exp::run_with_threads(1, true);
+    let reference_text = format!("{sequential}");
+    let reference_json = canonical_json(&sequential);
+    for threads in [2, 4] {
+        let report = qnlg_bench::experiments::ghz_exp::run_with_threads(threads, true);
+        assert_eq!(
+            format!("{report}"),
+            reference_text,
+            "{threads} workers changed the text report"
+        );
+        assert_eq!(
+            canonical_json(&report),
+            reference_json,
+            "{threads} workers changed the JSON artifact"
+        );
+    }
+    // Metrics must observe, never perturb — and the instrumented run
+    // must feed the rounds counter behind perf.rounds_per_sec.
+    obs::reset();
+    obs::set_enabled(true);
+    let observed = qnlg_bench::experiments::ghz_exp::run_with_threads(2, true);
+    let snap = obs::snapshot();
+    obs::set_enabled(false);
+    assert_eq!(
+        canonical_json(&observed),
+        reference_json,
+        "enabling obs changed the ghz report"
+    );
+    assert!(
+        snap.counter("games.ghz.rounds").unwrap_or(0) > 0,
+        "instrumented ghz run must count kernel rounds"
+    );
+    // Tracing must observe, never perturb.
+    trace::reset();
+    trace::set_enabled(true);
+    let traced = qnlg_bench::experiments::ghz_exp::run_with_threads(2, true);
+    trace::set_enabled(false);
+    let _ = trace::drain();
+    assert_eq!(
+        canonical_json(&traced),
+        reference_json,
+        "enabling trace changed the ghz report"
+    );
+}
+
 /// The JSON artifact line for fig4 must validate against the schema and
 /// carry the fields the acceptance criteria promise: seed, thread count,
 /// per-point SimResult fields, and Wilson intervals.

@@ -20,8 +20,12 @@
 //!   distributions `p(a,b|x,y)` with uniform marginals realized by an
 //!   entangled strategy; includes no-signaling verification and the
 //!   CHSH/Tsirelson operator value.
-//! - [`multiparty`]: the 3-player GHZ (Mermin) game, where the quantum win
-//!   probability is 1 vs classical 0.75.
+//! - [`multiparty`]: the n-player GHZ/Mermin parity game (quantum win
+//!   probability 1 vs classical `1/2 + 2^{−⌈n/2⌉}`), with both a full
+//!   statevector path and a closed-form noisy-GHZ kernel path
+//!   ([`multiparty::play_mermin_batch`]).
+//! - [`magic`]: the Mermin–Peres Magic Square game — two-player
+//!   pseudo-telepathy on two Werner pairs, sampled via the Pauli twirl.
 //! - [`graph`]: random edge-labeled affinity graphs and their conversion
 //!   to XOR games (the Figure 3 experiment).
 //! - [`cache`]: canonicalizing sharded value cache — sweeps over random
@@ -37,6 +41,7 @@ pub mod family;
 pub mod correlation;
 pub mod game;
 pub mod graph;
+pub mod magic;
 pub mod multiparty;
 pub mod xor;
 

@@ -14,11 +14,25 @@
 //! on input 1 in the Y basis. The GHZ state is a +1 eigenstate of `X⊗X⊗X`
 //! and a −1 eigenstate of `X⊗Y⊗Y` (and permutations), which makes the win
 //! condition hold with certainty.
+//!
+//! Two execution paths coexist. [`play_mermin_quantum`] runs the full
+//! statevector simulation (O(2ⁿ) amplitudes per round); the hot path
+//! [`play_mermin_kernel`] / [`play_mermin_batch`] uses the closed-form
+//! [`qsim::ghz::NoisyGhz`] kernel (O(n) per round, one f64 draw + one
+//! word of bulk bits) and additionally models visibility/dephasing noise.
+//! Setting `QNLG_EXACT_QSIM=1` reroutes the kernel paths through the
+//! statevector oracle for end-to-end cross-validation.
 
+use crate::error::GameError;
+use obs::LazyCounter;
 use qmath::C64;
+use qsim::ghz::NoisyGhz;
 use qsim::measure::Basis1;
 use qsim::SharedState;
 use rand::Rng;
+
+/// Mermin rounds played through the closed-form kernel (batch or single).
+static ROUNDS: LazyCounter = LazyCounter::new("games.ghz.rounds");
 
 /// The four valid GHZ-game input triples (even parity).
 pub const GHZ_INPUTS: [(u8, u8, u8); 4] = [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0)];
@@ -141,14 +155,24 @@ pub fn play_mermin_quantum<R: Rng + ?Sized>(inputs: &[u8], rng: &mut R) -> Vec<b
         .collect()
 }
 
+/// Largest player count accepted by [`mermin_classical_optimum`]: the
+/// brute force enumerates 4ⁿ deterministic strategies × 2^{n−1} inputs.
+pub const MERMIN_ENUM_LIMIT: usize = 10;
+
 /// The exact classical optimum of the n-player Mermin game by brute force
 /// over all deterministic strategies (each player picks one of the four
 /// functions {0,1} → {0,1}).
 ///
-/// # Panics
-/// Panics if `n > 10` (4ⁿ enumeration becomes unreasonable).
-pub fn mermin_classical_optimum(n: usize) -> f64 {
-    assert!(n <= 10, "brute force infeasible for n = {n}");
+/// # Errors
+/// [`GameError::TooLarge`] if `n >` [`MERMIN_ENUM_LIMIT`] (the 4ⁿ · 2^{n−1}
+/// enumeration becomes unreasonable).
+pub fn mermin_classical_optimum(n: usize) -> Result<f64, GameError> {
+    if n > MERMIN_ENUM_LIMIT {
+        return Err(GameError::TooLarge {
+            n_a: n,
+            limit: MERMIN_ENUM_LIMIT,
+        });
+    }
     let inputs = mermin_inputs(n);
     let mut best = 0usize;
     // Strategy encoding: 2 bits per player (output on input 0, on input 1).
@@ -166,7 +190,7 @@ pub fn mermin_classical_optimum(n: usize) -> f64 {
             .count();
         best = best.max(wins);
     }
-    best as f64 / inputs.len() as f64
+    Ok(best as f64 / inputs.len() as f64)
 }
 
 /// The closed-form classical bound of the Mermin game:
@@ -187,6 +211,99 @@ pub fn mermin_quantum_win_rate<R: Rng + ?Sized>(n: usize, rounds: usize, rng: &m
         wins += usize::from(mermin_wins(x, &outs));
     }
     wins as f64 / rounds as f64
+}
+
+/// All even-parity Mermin input vectors as bit masks (bit `j` = player
+/// `j`'s input), the packed form the kernel path consumes. Same order as
+/// [`mermin_inputs`].
+pub fn mermin_input_masks(n: usize) -> Vec<u64> {
+    assert!(n >= 2, "Mermin game needs at least two players");
+    (0..1u64 << n).filter(|m| m.count_ones().is_multiple_of(2)).collect()
+}
+
+/// Mask form of [`mermin_wins`]: bit `j` of `outcome` is player `j`'s
+/// answer; the win target for even-weight `y_mask` is `(wt mod 4)/2`.
+pub fn mermin_wins_mask(y_mask: u64, outcome: u64) -> bool {
+    debug_assert!(y_mask.count_ones().is_multiple_of(2), "Mermin inputs have even parity");
+    let target = y_mask.count_ones() % 4 == 2;
+    (outcome.count_ones() % 2 == 1) == target
+}
+
+/// Plays one Mermin round on `kernel` with the optimal X/Y strategy:
+/// player `j` measures Y iff bit `j` of `y_mask` is set. Returns the
+/// outcome mask (bit `j` = player `j`'s answer). Routes through the full
+/// statevector oracle when `QNLG_EXACT_QSIM=1`.
+pub fn play_mermin_kernel<R: Rng + ?Sized>(kernel: &NoisyGhz, y_mask: u64, rng: &mut R) -> u64 {
+    ROUNDS.inc();
+    if qsim::werner::exact_qsim() {
+        kernel
+            .oracle_sample_xy(y_mask, rng)
+            .expect("y_mask within kernel arity")
+    } else {
+        kernel.sample_xy(y_mask, rng)
+    }
+}
+
+/// Result of a [`play_mermin_batch`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MerminBatch {
+    /// Rounds won.
+    pub wins: u64,
+    /// Rounds played.
+    pub rounds: u64,
+}
+
+impl MerminBatch {
+    /// Empirical win rate (`NaN` for an empty batch).
+    pub fn win_rate(&self) -> f64 {
+        self.wins as f64 / self.rounds as f64
+    }
+}
+
+/// Plays `rounds` Mermin rounds on `kernel`, drawing the full input
+/// schedule up front (games-first, like the fig3 sweep) and then playing
+/// them with the per-input correlation hoisted out of the sampling loop.
+pub fn play_mermin_batch<R: Rng + ?Sized>(
+    kernel: &NoisyGhz,
+    rounds: u64,
+    rng: &mut R,
+) -> MerminBatch {
+    let masks = mermin_input_masks(kernel.n_parties());
+    // Referee phase: the whole schedule of input masks, drawn first.
+    let schedule: Vec<u32> = (0..rounds)
+        .map(|_| rng.gen_range(0..masks.len() as u32))
+        .collect();
+    // Player phase: per-input correlations computed once, not per round.
+    let correlations: Vec<f64> = masks.iter().map(|&m| kernel.correlation_xy(m)).collect();
+    let exact = qsim::werner::exact_qsim();
+    let mut wins = 0u64;
+    for &i in &schedule {
+        let y_mask = masks[i as usize];
+        let outcome = if exact {
+            kernel
+                .oracle_sample_xy(y_mask, rng)
+                .expect("mask within kernel arity")
+        } else {
+            kernel.sample_with_correlation(correlations[i as usize], rng)
+        };
+        wins += u64::from(mermin_wins_mask(y_mask, outcome));
+    }
+    ROUNDS.add(rounds);
+    MerminBatch { wins, rounds }
+}
+
+/// Closed-form Mermin win probability of the X/Y strategy on a GHZ state
+/// with effective coherence `w` (visibility × ∏ retentions): `(1 + w)/2`,
+/// independent of the player count.
+pub fn mermin_quantum_win(coherence: f64) -> f64 {
+    0.5 * (1.0 + coherence)
+}
+
+/// The visibility at which the quantum X/Y strategy's win rate
+/// `(1 + v)/2` meets the classical bound `1/2 + 2^{−⌈n/2⌉}`:
+/// `v* = 2^{1−⌈n/2⌉}`. Below it, noise erases the multiparty advantage.
+pub fn mermin_crossover_visibility(n: usize) -> f64 {
+    2f64.powi(1 - n.div_ceil(2) as i32)
 }
 
 #[cfg(test)]
@@ -288,7 +405,7 @@ mod mermin_tests {
     #[test]
     fn classical_optimum_matches_closed_form() {
         for n in [2usize, 3, 4, 5, 6] {
-            let brute = mermin_classical_optimum(n);
+            let brute = mermin_classical_optimum(n).expect("within enum limit");
             let bound = mermin_classical_bound(n);
             assert!(
                 (brute - bound).abs() < 1e-12,
@@ -317,5 +434,109 @@ mod mermin_tests {
         let gap5 = 1.0 - mermin_classical_bound(5);
         let gap7 = 1.0 - mermin_classical_bound(7);
         assert!(gap3 < gap5 && gap5 < gap7);
+    }
+
+    #[test]
+    fn classical_optimum_rejects_oversized_games() {
+        assert_eq!(
+            mermin_classical_optimum(MERMIN_ENUM_LIMIT + 1),
+            Err(GameError::TooLarge {
+                n_a: MERMIN_ENUM_LIMIT + 1,
+                limit: MERMIN_ENUM_LIMIT,
+            })
+        );
+    }
+}
+
+#[cfg(test)]
+mod kernel_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn input_masks_mirror_input_vectors() {
+        for n in 2..=7 {
+            let masks = mermin_input_masks(n);
+            let vecs = mermin_inputs(n);
+            assert_eq!(masks.len(), vecs.len());
+            for (m, x) in masks.iter().zip(&vecs) {
+                for (j, &xj) in x.iter().enumerate() {
+                    assert_eq!(((m >> j) & 1) as u8, xj);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mask_predicate_agrees_with_vector_predicate() {
+        for n in 2..=5usize {
+            for y_mask in mermin_input_masks(n) {
+                let x: Vec<u8> = (0..n).map(|j| ((y_mask >> j) & 1) as u8).collect();
+                for outcome in 0..(1u64 << n) {
+                    let outs: Vec<bool> = (0..n).map(|j| (outcome >> j) & 1 == 1).collect();
+                    assert_eq!(
+                        mermin_wins_mask(y_mask, outcome),
+                        mermin_wins(&x, &outs),
+                        "n = {n}, y = {y_mask:#b}, a = {outcome:#b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_is_perfect_at_unit_visibility() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [3usize, 4, 5, 6] {
+            let kernel = NoisyGhz::ideal(n).unwrap();
+            for &y_mask in &mermin_input_masks(n) {
+                for _ in 0..100 {
+                    let a = play_mermin_kernel(&kernel, y_mask, &mut rng);
+                    assert!(mermin_wins_mask(y_mask, a), "n = {n}, y = {y_mask:#b}");
+                }
+            }
+            let batch = play_mermin_batch(&kernel, 2000, &mut rng);
+            assert_eq!(batch.wins, batch.rounds, "n = {n} batch must be perfect");
+            assert!((batch.win_rate() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_visibility_batch_is_a_coin_flip() {
+        // v = 0 is the fully-mixed parity sector: win rate 1/2.
+        let mut rng = StdRng::seed_from_u64(12);
+        let kernel = NoisyGhz::new(4, 0.0).unwrap();
+        let batch = play_mermin_batch(&kernel, 40_000, &mut rng);
+        assert!((batch.win_rate() - 0.5).abs() < 0.01, "{}", batch.win_rate());
+    }
+
+    #[test]
+    fn crossover_visibility_meets_the_classical_bound() {
+        for n in 3..=10 {
+            let v = mermin_crossover_visibility(n);
+            assert!(
+                (mermin_quantum_win(v) - mermin_classical_bound(n)).abs() < 1e-12,
+                "n = {n}: crossover v* = {v}"
+            );
+        }
+        // The advantage window widens with n: v* shrinks toward 0.
+        assert!(mermin_crossover_visibility(9) < mermin_crossover_visibility(5));
+    }
+
+    #[test]
+    fn kernel_agrees_with_statevector_on_ideal_states() {
+        // The statevector path (play_mermin_quantum) wins every promise
+        // round; the kernel at v = 1 must do the same on the same masks.
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 4;
+        let kernel = NoisyGhz::ideal(n).unwrap();
+        for y_mask in mermin_input_masks(n) {
+            let x: Vec<u8> = (0..n).map(|j| ((y_mask >> j) & 1) as u8).collect();
+            let sv = play_mermin_quantum(&x, &mut rng);
+            assert!(mermin_wins(&x, &sv));
+            let a = kernel.sample_xy(y_mask, &mut rng);
+            assert!(mermin_wins_mask(y_mask, a));
+        }
     }
 }

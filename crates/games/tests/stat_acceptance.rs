@@ -1,4 +1,5 @@
-//! Statistical acceptance tests for the CHSH win rate.
+//! Statistical acceptance tests for the CHSH, Mermin, and Magic Square
+//! win rates.
 //!
 //! Every assertion here goes through `qmath::assert_prob_in!`, which
 //! checks the *theoretical* win probability against the Wilson interval
@@ -86,4 +87,60 @@ fn sub_threshold_visibility_is_significantly_below_classical() {
         "upper bound {:.4} must fall below the classical optimum (n = {ROUNDS}, conf = {CONF})",
         check.hi
     );
+}
+
+#[test]
+fn mermin_kernel_hits_the_closed_form_for_three_to_eight_players() {
+    // The X/Y strategy on a visibility-v GHZ state wins the Mermin game
+    // with probability exactly (1 + v)/2 for EVERY player count — the
+    // ISSUE-mandated pinning of the kernel win rate, n = 3..8 at
+    // 99.9%/50k.
+    for n in 3..=8usize {
+        for (lane, v) in [1.0f64, 0.8, 0.4].into_iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(400 + 10 * n as u64 + lane as u64);
+            let kernel = qsim::ghz::NoisyGhz::new(n, v).expect("valid visibility");
+            let batch = games::multiparty::play_mermin_batch(&kernel, ROUNDS, &mut rng);
+            assert_prob_in!(
+                batch.wins,
+                ROUNDS,
+                games::multiparty::mermin_quantum_win(v),
+                conf = CONF
+            );
+        }
+    }
+}
+
+#[test]
+fn mermin_kernel_beats_the_classical_bound_above_crossover() {
+    // At n = 6, v = 0.6 sits well above the crossover v* = 2^{-2} = 0.25:
+    // the LOWER Wilson bound must clear the classical ceiling 0.625.
+    let mut rng = StdRng::seed_from_u64(500);
+    let n = 6;
+    let v = 0.6;
+    let kernel = qsim::ghz::NoisyGhz::new(n, v).expect("valid visibility");
+    let batch = games::multiparty::play_mermin_batch(&kernel, ROUNDS, &mut rng);
+    let check = assert_prob_in!(
+        batch.wins,
+        ROUNDS,
+        games::multiparty::mermin_quantum_win(v),
+        conf = CONF
+    );
+    let bound = games::multiparty::mermin_classical_bound(n);
+    assert!(
+        check.lo > bound,
+        "lower bound {:.4} must clear the classical ceiling {bound} (n = {ROUNDS}, conf = {CONF})",
+        check.lo
+    );
+}
+
+#[test]
+fn magic_square_hits_its_closed_form() {
+    // Two visibility-v Werner pairs win the Magic Square with probability
+    // exactly 1/2 + (4v + 5v²)/18 under uniform referee questions.
+    for (lane, v) in [1.0f64, 0.9, 0.5].into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(600 + lane as u64);
+        let game = games::magic::MagicSquare::new(v).expect("valid visibility");
+        let batch = game.play_batch(ROUNDS, &mut rng);
+        assert_prob_in!(batch.wins, ROUNDS, games::magic::quantum_win(v), conf = CONF);
+    }
 }

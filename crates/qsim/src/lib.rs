@@ -35,6 +35,7 @@ pub mod circuit;
 pub mod density;
 pub mod error;
 pub mod gates;
+pub mod ghz;
 pub mod measure;
 pub mod noise;
 pub mod pair;
@@ -46,6 +47,7 @@ pub use circuit::Circuit;
 pub use density::DensityMatrix;
 pub use error::SimError;
 pub use gates::{Gate1, Gate2};
+pub use ghz::NoisyGhz;
 pub use measure::{measure_in_angle_basis, measure_in_basis, Basis1};
 pub use noise::KrausChannel;
 pub use pair::{Party, SharedPair, SharedState};

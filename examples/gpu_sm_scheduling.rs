@@ -17,10 +17,20 @@
 //! solved once at startup, then two work distributors coordinate
 //! placements with zero communication.
 //!
+//! Part two scales past two front-ends: a whole rack of N GPU servers
+//! shares a noisy GHZ state (the closed-form `qsim::ghz` kernel) and
+//! coordinates a global SM placement-mode flip through the n-player
+//! Mermin parity game — perfectly at unit visibility, and still above
+//! every classical scheme down to visibility `2^{1−⌈n/2⌉}`.
+//!
 //! Run with: `cargo run --release --example gpu_sm_scheduling`
 
+use qnlg::games::multiparty::{
+    mermin_classical_bound, mermin_crossover_visibility, play_mermin_batch,
+};
 use qnlg::games::AffinityGraph;
 use qnlg::qnlg_core::CoordinatorBuilder;
+use qnlg::qsim::ghz::NoisyGhz;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -76,4 +86,41 @@ fn main() {
         "quantum placements must clearly beat the exact classical ceiling"
     );
     println!("\n✓ SM placements beat the classical ceiling with zero coordination traffic");
+
+    // Part two: a rack of N GPU servers coordinating a global placement
+    // decision. Each server sees one local congestion bit (its input);
+    // when an even number of servers are congested, the XOR of their
+    // one-bit placement decisions must track (congested mod 4)/2 — the
+    // Mermin promise, which GHZ-sharing servers satisfy with certainty
+    // and classical racks can only hit with probability 1/2 + 2^{−⌈n/2⌉}.
+    println!("\nrack-scale: N servers flipping SM placement mode in lockstep");
+    println!("  (noisy-GHZ kernel, 100k game rounds per cell)\n");
+    println!("  n   visibility  win rate  classical ceiling  crossover v*");
+    let rounds = 100_000;
+    for n in [3usize, 6, 10] {
+        let ceiling = mermin_classical_bound(n);
+        let crossover = mermin_crossover_visibility(n);
+        for v in [1.0, 0.8, crossover] {
+            let kernel = NoisyGhz::new(n, v).expect("valid visibility");
+            let batch = play_mermin_batch(&kernel, rounds, &mut rng);
+            println!(
+                "  {n:<3} {v:<11.4} {:<9.4} {ceiling:<18.4} {crossover:.4}",
+                batch.win_rate()
+            );
+            if v == 1.0 {
+                assert_eq!(batch.wins, batch.rounds, "ideal GHZ coordination is perfect");
+            }
+            if v > crossover + 0.05 {
+                assert!(
+                    batch.win_rate() > ceiling,
+                    "n = {n}, v = {v}: must beat the classical rack"
+                );
+            }
+        }
+    }
+    println!(
+        "\n✓ the advantage window widens with the rack: v*(3) = {:.3} but v*(10) = {:.3}",
+        mermin_crossover_visibility(3),
+        mermin_crossover_visibility(10)
+    );
 }
