@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test clippy bench-compile bench-sweep bench-xor bench-plane bench-scale bench-trace bench-ghz repro-quick trace-quick perf-diff test-stat
+.PHONY: ci build test clippy bench-compile bench-sweep bench-xor bench-plane bench-scale bench-trace bench-ghz bench-topology repro-quick trace-quick perf-diff test-stat test-topology
 
 ci: build test clippy bench-compile repro-quick
 
@@ -55,6 +55,13 @@ bench-trace:
 bench-ghz:
 	$(CARGO) bench -p qnlg-bench --bench ghz
 
+# Chain-evaluation ablation: closed-form end-to-end visibility vs the
+# hop-by-hop density-matrix oracle (acceptance bar: ≥5x at h = 4), plus
+# the full route+schedule+sample epoch on the fanout-8 star — the
+# DESIGN.md §5 topology rows.
+bench-topology:
+	$(CARGO) bench -p qnlg-bench --bench topology
+
 # Quick-budget chaos run with the event timeline on: writes
 # artifacts/TRACE_fig4-faults.json (Chrome trace_event — load in
 # Perfetto or chrome://tracing) next to the BENCH artifact.
@@ -74,6 +81,16 @@ perf-diff: repro-quick
 test-stat:
 	$(CARGO) test -p games --test stat_acceptance -- --nocapture
 	$(CARGO) test -p qnet --test stat_acceptance -- --nocapture
+	$(CARGO) test -p qnet --test topology_stat -- --nocapture
+
+# The metro-topology battery: property tests (chain monotonicity,
+# downed-edge avoidance, exact budget conservation, relabeling
+# invariance), the chain CHSH statistical pins, the E10 experiment's own
+# checks, and the BENCH_topology.json determinism arm.
+test-topology:
+	$(CARGO) test -p qnet --test topology_props --test topology_stat
+	$(CARGO) test -p qnlg-bench --lib topology
+	$(CARGO) test -p qnlg-bench --test determinism topology
 
 # CI-budget reproduction of every experiment, with schema-validated
 # JSON-lines artifacts in artifacts/. Fails if any acceptance check fails.

@@ -43,6 +43,7 @@
 //! | hybrid           | §4.1 caveat: dedicated-server baseline (E7)      |
 //! | pipeline         | E8: hardware-in-the-loop Figure 4                |
 //! | ghz              | E9: multiparty Mermin/Magic-Square crossover     |
+//! | topology         | E10: metro repeater chains + contention routing  |
 
 use qnlg_bench::report::{validate_artifact_line, write_artifact, PerfStats, RunContext};
 use qnlg_bench::{experiments, perfdiff, Report, Table};

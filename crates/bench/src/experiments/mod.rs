@@ -12,6 +12,7 @@ pub mod noise_exp;
 pub mod pipeline_exp;
 pub mod scale_exp;
 pub mod timing_exp;
+pub mod topology_exp;
 
 /// All experiment names, in the order `repro all` runs them.
 pub const ALL: &[&str] = &[
@@ -29,6 +30,7 @@ pub const ALL: &[&str] = &[
     "hybrid",
     "pipeline",
     "ghz",
+    "topology",
 ];
 
 /// Dispatches one experiment by name, returning its typed report.
@@ -48,6 +50,7 @@ pub fn run(name: &str, quick: bool) -> Option<crate::Report> {
         "hybrid" => hybrid_exp::run(quick),
         "pipeline" => pipeline_exp::run(quick),
         "ghz" => ghz_exp::run(quick),
+        "topology" => topology_exp::run(quick),
         _ => return None,
     })
 }

@@ -322,6 +322,77 @@ fn ghz_kernel_artifact_is_thread_obs_and_trace_invariant() {
     );
 }
 
+/// The metro-topology plane end-to-end: the E10 quick artifact (chain
+/// closed forms + oracle pins, contention scheduling, edge-cut blast
+/// radius, per-pair governors) must be byte-identical across worker
+/// counts, with obs recording on, and with the event timeline recording
+/// — the CI determinism arm for `BENCH_topology.json`. The sequential
+/// parts (star epochs, tree timeline) are seeded per part, and the
+/// par_sweep CHSH arm is seeded per point, so thread count must never
+/// leak into the artifact.
+#[test]
+fn topology_artifact_is_thread_obs_and_trace_invariant() {
+    let sequential = qnlg_bench::experiments::topology_exp::run_with_threads(1, true);
+    let reference_text = format!("{sequential}");
+    let reference_json = canonical_json(&sequential);
+    for threads in [2, 4] {
+        let report = qnlg_bench::experiments::topology_exp::run_with_threads(threads, true);
+        assert_eq!(
+            format!("{report}"),
+            reference_text,
+            "{threads} workers changed the text report"
+        );
+        assert_eq!(
+            canonical_json(&report),
+            reference_json,
+            "{threads} workers changed the JSON artifact"
+        );
+    }
+    // Metrics must observe, never perturb — and the instrumented run
+    // must feed the chain counters plus the shared emission counter
+    // behind perf.pairs_per_sec.
+    obs::reset();
+    obs::set_enabled(true);
+    let observed = qnlg_bench::experiments::topology_exp::run_with_threads(2, true);
+    let snap = obs::snapshot();
+    obs::set_enabled(false);
+    assert_eq!(
+        canonical_json(&observed),
+        reference_json,
+        "enabling obs changed the topology report"
+    );
+    for counter in [
+        "qnet.topology.routes",
+        "qnet.topology.delivered",
+        "qnet.topology.starved",
+        "qnet.topology.budget_spent",
+        "qnet.epr.emitted",
+    ] {
+        assert!(
+            snap.counter(counter).unwrap_or(0) > 0,
+            "instrumented topology run must bump {counter}"
+        );
+    }
+    // Tracing must observe, never perturb — and the chain lifecycle
+    // must actually land on the timeline.
+    trace::reset();
+    trace::set_enabled(true);
+    let traced = qnlg_bench::experiments::topology_exp::run_with_threads(2, true);
+    trace::set_enabled(false);
+    let log = trace::drain();
+    assert_eq!(
+        canonical_json(&traced),
+        reference_json,
+        "enabling trace changed the topology report"
+    );
+    assert!(
+        log.events
+            .iter()
+            .any(|e| matches!(e.track, trace::Track::Chain(_))),
+        "traced topology run must record chain-track events"
+    );
+}
+
 /// The JSON artifact line for fig4 must validate against the schema and
 /// carry the fields the acceptance criteria promise: seed, thread count,
 /// per-point SimResult fields, and Wilson intervals.

@@ -252,20 +252,45 @@ impl FallbackGovernor {
             hold => hold,
         };
         if next != self.mode {
-            let _span = obs::span!("fallback.transition");
-            self.mode = next;
-            self.dwell = 0;
-            self.transitions += 1;
-            self.entries[next.index()] += 1;
-            FALLBACK_TRANSITIONS.inc();
-            match next {
-                CoordinationMode::Quantum => FALLBACK_TO_QUANTUM.inc(),
-                CoordinationMode::ClassicalShared => FALLBACK_TO_CLASSICAL.inc(),
-                CoordinationMode::IndependentRandom => FALLBACK_TO_INDEPENDENT.inc(),
-            }
-            FALLBACK_MODE.set(next.gauge_value());
+            self.transition_to(next);
         }
         self.mode
+    }
+
+    /// [`Self::observe`] for a *routed chain* (metro topology): pairs
+    /// delivered below the CHSH crossover visibility `1/√2` cannot beat
+    /// classical coordination, so they count as zero evidence — a chain
+    /// re-routed onto a lossy backup trunk trips the governor even while
+    /// its delivered-pair *rate* stays healthy. `delivered` out of
+    /// `requested` attempts arrived, at end-to-end visibility
+    /// `visibility`.
+    pub fn observe_delivery(
+        &mut self,
+        delivered: u64,
+        requested: u64,
+        visibility: f64,
+    ) -> CoordinationMode {
+        let effective = if visibility > qsim::noise::WERNER_CHSH_THRESHOLD {
+            delivered
+        } else {
+            0
+        };
+        self.observe(effective, requested)
+    }
+
+    fn transition_to(&mut self, next: CoordinationMode) {
+        let _span = obs::span!("fallback.transition");
+        self.mode = next;
+        self.dwell = 0;
+        self.transitions += 1;
+        self.entries[next.index()] += 1;
+        FALLBACK_TRANSITIONS.inc();
+        match next {
+            CoordinationMode::Quantum => FALLBACK_TO_QUANTUM.inc(),
+            CoordinationMode::ClassicalShared => FALLBACK_TO_CLASSICAL.inc(),
+            CoordinationMode::IndependentRandom => FALLBACK_TO_INDEPENDENT.inc(),
+        }
+        FALLBACK_MODE.set(next.gauge_value());
     }
 }
 
@@ -480,6 +505,34 @@ mod tests {
         // Full window but zero polls: still no evidence, no transition.
         assert_eq!(g.window_rate(), None);
         assert_eq!(g.mode(), CoordinationMode::Quantum);
+    }
+
+    #[test]
+    fn sub_threshold_visibility_trips_despite_healthy_rate() {
+        // Full delivery at v = 0.63 (< 1/√2): the pairs arrive but cannot
+        // witness advantage, so the governor must leave Quantum.
+        let mut g = FallbackGovernor::new(quick_hysteresis());
+        for _ in 0..20 {
+            g.observe_delivery(10, 10, 0.63);
+        }
+        assert_eq!(g.mode(), CoordinationMode::IndependentRandom);
+        // Back above the crossover: tiered recovery to Quantum.
+        for _ in 0..20 {
+            g.observe_delivery(10, 10, 0.9);
+        }
+        assert_eq!(g.mode(), CoordinationMode::Quantum);
+    }
+
+    #[test]
+    fn above_threshold_visibility_passes_delivery_through() {
+        let mut g = FallbackGovernor::new(quick_hysteresis());
+        for _ in 0..50 {
+            assert_eq!(
+                g.observe_delivery(10, 10, 0.85),
+                CoordinationMode::Quantum
+            );
+        }
+        assert_eq!(g.transitions(), 0);
     }
 
     #[test]

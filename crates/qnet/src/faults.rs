@@ -69,6 +69,14 @@ pub enum FaultKind {
         /// τ multiplier in `(0, 1]` — smaller means faster dephasing.
         lifetime_factor: f64,
     },
+    /// A topology fiber edge is cut: every chain routed through
+    /// [`crate::topology::MetroGraph`] edge `edge` starves until it
+    /// clears — the fault whose blast radius depends on the routing
+    /// ([`FaultClock::downed_edges`] feeds [`crate::routing::best_path`]).
+    EdgeCut {
+        /// The [`crate::topology::MetroGraph`] edge id.
+        edge: u32,
+    },
 }
 
 /// A fault active on the half-open interval `[start, end)`.
@@ -124,7 +132,7 @@ impl FaultPlan {
             FaultKind::DecoherenceSpike { lifetime_factor } => {
                 assert!(lifetime_factor > 0.0, "lifetime_factor must be positive");
             }
-            FaultKind::LinkOutage(_) => {}
+            FaultKind::LinkOutage(_) | FaultKind::EdgeCut { .. } => {}
         }
         self.windows.push(window);
     }
@@ -338,6 +346,10 @@ impl FaultClock {
                 FaultKind::DecoherenceSpike { lifetime_factor } => {
                     s.lifetime_factor *= lifetime_factor;
                 }
+                // Edge cuts live in the topology plane: [`FaultState`] is
+                // the two-QNIC distributor's view and stays untouched; the
+                // routing layer reads [`Self::downed_edges`] instead.
+                FaultKind::EdgeCut { .. } => {}
             }
         }
         self.state = s;
@@ -346,6 +358,28 @@ impl FaultClock {
     /// The current fault state.
     pub fn state(&self) -> FaultState {
         self.state
+    }
+
+    /// True while an [`FaultKind::EdgeCut`] on `edge` is active.
+    pub fn edge_down(&self, edge: u32) -> bool {
+        self.active
+            .iter()
+            .any(|k| matches!(k, FaultKind::EdgeCut { edge: e } if *e == edge))
+    }
+
+    /// The currently-cut topology edges as a downed mask sized for
+    /// `n_edges` (the shape [`crate::routing::best_path`] consumes).
+    /// Active cuts on edge ids ≥ `n_edges` are ignored.
+    pub fn downed_edges(&self, n_edges: usize) -> Vec<bool> {
+        let mut downed = vec![false; n_edges];
+        for k in &self.active {
+            if let FaultKind::EdgeCut { edge } = k {
+                if let Some(slot) = downed.get_mut(*edge as usize) {
+                    *slot = true;
+                }
+            }
+        }
+        downed
     }
 
     /// Total on/off edges processed so far.
@@ -455,6 +489,33 @@ mod tests {
             Duration::from_micros(150),
         );
         assert_ne!(a.windows(), other.windows(), "different seed, different plan");
+    }
+
+    #[test]
+    fn edge_cuts_track_topology_edges_without_touching_state() {
+        let mut plan = FaultPlan::none();
+        plan.push(FaultWindow {
+            start: us(10),
+            end: us(20),
+            kind: FaultKind::EdgeCut { edge: 3 },
+        });
+        plan.push(FaultWindow {
+            start: us(15),
+            end: us(30),
+            kind: FaultKind::EdgeCut { edge: 1 },
+        });
+        let mut clock = FaultClock::new(&plan);
+        clock.advance_through(us(16));
+        // The distributor's view is untouched; the routing mask is not.
+        assert_eq!(clock.state(), FaultState::NOMINAL);
+        assert!(clock.edge_down(1) && clock.edge_down(3));
+        assert_eq!(clock.downed_edges(5), vec![false, true, false, true, false]);
+        // Out-of-range ids never panic the mask.
+        assert_eq!(clock.downed_edges(2), vec![false, true]);
+        clock.advance_through(us(25));
+        assert_eq!(clock.downed_edges(5), vec![false, true, false, false, false]);
+        clock.advance_through(us(40));
+        assert!(!clock.edge_down(1));
     }
 
     #[test]

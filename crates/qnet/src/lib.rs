@@ -32,9 +32,11 @@ pub mod epr;
 pub mod faults;
 pub mod link;
 pub mod qnic;
+pub mod routing;
 pub mod swap;
 pub mod time;
 pub mod timing;
+pub mod topology;
 
 pub use des::{EventQueue, HeapQueue};
 pub use distributor::{
@@ -44,6 +46,11 @@ pub use epr::EprSource;
 pub use faults::{FaultClock, FaultKind, FaultPlan, FaultState, FaultWindow, LinkSide};
 pub use link::FiberLink;
 pub use qnic::{Qnic, StoredQubit};
-pub use swap::{entanglement_swap, SwapOutcome};
+pub use routing::{allocate, best_path, route_epoch, PairDemand, PairOutcome, Policy, Route};
+pub use swap::{entanglement_swap, max_swap_hops, SwapError, SwapOutcome};
 pub use time::SimTime;
 pub use timing::{DecisionLatencyModel, TimingReport};
+pub use topology::{
+    line_chain, metro_tree, star, ChainSpec, MetroGraph, MetroTree, MetroTreeParams,
+    MultiplexedSource, NodeKind, SwapModel, TopologyError,
+};

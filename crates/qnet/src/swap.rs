@@ -17,6 +17,7 @@
 use qsim::{gates, DensityMatrix, SimError};
 use qmath::CMatrix;
 use rand::Rng;
+use std::fmt;
 
 /// Swaps performed.
 static SWAPS: obs::LazyCounter = obs::LazyCounter::new("qnet.swap.count");
@@ -118,27 +119,84 @@ pub fn swap_werner_pairs<R: Rng + ?Sized>(
     Ok(entanglement_swap(&p1, &p2, rng)?.pair)
 }
 
+/// Swap-layer input errors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SwapError {
+    /// A visibility outside `[0, 1]` (NaN included).
+    BadVisibility {
+        /// The offending value.
+        value: f64,
+    },
+    /// A probability outside `[0, 1]` (NaN included).
+    BadProbability {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SwapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwapError::BadVisibility { value } => {
+                write!(f, "visibility {value} outside [0, 1]")
+            }
+            SwapError::BadProbability { value } => {
+                write!(f, "probability {value} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
+
 /// The number of swap hops a chain can tolerate before the end-to-end
 /// visibility `v₀^(hops+1)` drops below the CHSH threshold `1/√2`.
-pub fn max_useful_hops(per_link_visibility: f64) -> usize {
-    assert!(
-        (0.0..=1.0).contains(&per_link_visibility),
-        "bad visibility"
-    );
+///
+/// Closed form: the largest `h` with `v₀^(h+1) > 1/√2`, computed from
+/// logarithms and then corrected with exact powers — the historical
+/// repeated-multiplication loop needed `h` iterations, which for
+/// visibilities within a few ULP of 1 (e.g. `1 − 1e−15`) meant ~10¹⁴
+/// iterations: an effective hang.
+///
+/// # Errors
+/// [`SwapError::BadVisibility`] when `per_link_visibility ∉ [0, 1]`
+/// (NaN included) — the typed replacement for the old panicking assert.
+pub fn max_swap_hops(per_link_visibility: f64) -> Result<usize, SwapError> {
+    if !(0.0..=1.0).contains(&per_link_visibility) {
+        return Err(SwapError::BadVisibility {
+            value: per_link_visibility,
+        });
+    }
     if per_link_visibility >= 1.0 {
-        return usize::MAX;
+        return Ok(usize::MAX);
     }
     if per_link_visibility <= 0.0 {
-        return 0;
+        return Ok(0);
     }
     let threshold = qsim::noise::WERNER_CHSH_THRESHOLD;
-    let mut v = per_link_visibility;
-    let mut hops = 0;
-    while v * per_link_visibility > threshold {
-        v *= per_link_visibility;
-        hops += 1;
+    // v^(h+1) > t  ⟺  h + 1 < ln t / ln v  (both logs negative).
+    let mut hops = (threshold.ln() / per_link_visibility.ln() - 1.0).floor().max(0.0) as usize;
+    // The log estimate can be off by one either way; settle it with exact
+    // powers where the exponent fits (beyond ~10⁹ hops a ±1 correction is
+    // physically meaningless anyway).
+    if hops < (i32::MAX - 2) as usize {
+        while hops > 0 && per_link_visibility.powi(hops as i32 + 1) <= threshold {
+            hops -= 1;
+        }
+        while per_link_visibility.powi(hops as i32 + 2) > threshold {
+            hops += 1;
+        }
     }
-    hops
+    Ok(hops)
+}
+
+/// Panicking convenience wrapper around [`max_swap_hops`], kept for call
+/// sites that validate their visibility up front.
+///
+/// # Panics
+/// Panics on a visibility outside `[0, 1]` (NaN included).
+pub fn max_useful_hops(per_link_visibility: f64) -> usize {
+    max_swap_hops(per_link_visibility).expect("bad visibility")
 }
 
 #[cfg(test)]
@@ -205,6 +263,50 @@ mod tests {
         assert_eq!(max_useful_hops(0.95), 5);
         assert_eq!(max_useful_hops(1.0), usize::MAX);
         assert_eq!(max_useful_hops(0.5), 0);
+    }
+
+    #[test]
+    fn hop_budget_boundary_inputs() {
+        // Exact domain edges return, never panic.
+        assert_eq!(max_swap_hops(0.0), Ok(0));
+        assert_eq!(max_swap_hops(1.0), Ok(usize::MAX));
+        // At exactly the CHSH threshold even the first swap kills the
+        // advantage: v² < v = 1/√2.
+        assert_eq!(max_swap_hops(qsim::noise::WERNER_CHSH_THRESHOLD), Ok(0));
+        // Just above the threshold: v² still below it → 0 swaps.
+        assert_eq!(max_swap_hops(0.71), Ok(0));
+        // A visibility a few ULP under 1 must return promptly (the old
+        // repeated-multiplication loop needed ~10¹⁴ iterations here).
+        let near_one = 1.0 - 1e-15;
+        let hops = max_swap_hops(near_one).unwrap();
+        assert!(hops > 100_000_000_000_000, "{hops}");
+    }
+
+    #[test]
+    fn hop_budget_matches_multiplicative_oracle() {
+        // The closed form must agree with the literal loop wherever the
+        // loop is feasible.
+        for v in [0.72, 0.75, 0.8, 0.85, 0.9, 0.95, 0.99, 0.999] {
+            let threshold = qsim::noise::WERNER_CHSH_THRESHOLD;
+            let mut acc = v;
+            let mut oracle = 0usize;
+            while acc * v > threshold {
+                acc *= v;
+                oracle += 1;
+            }
+            assert_eq!(max_swap_hops(v), Ok(oracle), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn hop_budget_rejects_invalid_visibility() {
+        for bad in [-0.1, 1.1, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = max_swap_hops(bad).unwrap_err();
+            assert!(
+                matches!(err, SwapError::BadVisibility { .. }),
+                "{bad}: {err}"
+            );
+        }
     }
 
     #[test]

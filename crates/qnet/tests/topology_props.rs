@@ -1,0 +1,225 @@
+//! Property-based invariants of the metro topology and routing layers.
+//!
+//! The four guarantees the ISSUE battery demands, each over randomized
+//! graphs/chains rather than hand-picked examples:
+//!
+//! 1. chain visibility is monotone non-increasing in hops and in any
+//!    per-hop loss;
+//! 2. routing never transits a downed edge;
+//! 3. the contention scheduler conserves every source budget exactly and
+//!    never over-serves demand;
+//! 4. route selection is invariant under node relabeling (the delivered
+//!    visibility and hop count depend on the graph, not on insertion
+//!    order).
+
+use proptest::prelude::*;
+use qnet::{allocate, best_path, ChainSpec, MetroGraph, Policy, SwapModel, TopologyError};
+
+/// A hop-visibility vector in the physically sensible band.
+fn hop_vis(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.5f64..1.0, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Appending a hop (and its swap) never raises end-to-end visibility,
+    /// hop by hop along the whole prefix chain.
+    #[test]
+    fn chain_visibility_monotone_in_hops(
+        vis in hop_vis(10),
+        ideality in 0.8f64..1.0,
+    ) {
+        let swap = SwapModel::new(0.9, ideality).unwrap();
+        let mut last = f64::INFINITY;
+        for h in 1..=vis.len() {
+            let c = ChainSpec::new(vis[..h].to_vec(), vec![1.0; h], swap).unwrap();
+            let v = c.end_to_end_visibility();
+            prop_assert!(v <= last + 1e-15, "hop {h} raised visibility {last} -> {v}");
+            prop_assert!((0.0..=1.0).contains(&v));
+            last = v;
+        }
+    }
+
+    /// Degrading any single hop never raises end-to-end visibility, and
+    /// the closed form responds multiplicatively.
+    #[test]
+    fn chain_visibility_monotone_in_loss(
+        vis in hop_vis(8),
+        which in 0usize..32,
+        factor in 0.5f64..1.0,
+    ) {
+        let swap = SwapModel::new(0.9, 0.97).unwrap();
+        let baseline = ChainSpec::new(vis.clone(), vec![1.0; vis.len()], swap)
+            .unwrap()
+            .end_to_end_visibility();
+        let mut worse = vis.clone();
+        let i = which % vis.len();
+        worse[i] *= factor;
+        let degraded = ChainSpec::new(worse, vec![1.0; vis.len()], swap)
+            .unwrap()
+            .end_to_end_visibility();
+        prop_assert!(degraded <= baseline);
+        prop_assert!((degraded - baseline * factor).abs() < 1e-12);
+    }
+
+    /// On a random two-plane graph (every pair of adjacent rungs joined
+    /// by two parallel repeater paths), no returned route ever uses a
+    /// downed edge, and cutting edges never *improves* the route.
+    #[test]
+    fn routing_never_uses_downed_edge(
+        rungs in 2usize..6,
+        cut_mask in any::<u32>(),
+        vis_a in 0.8f64..1.0,
+        vis_b in 0.8f64..1.0,
+    ) {
+        let swap = SwapModel::new(0.9, 0.97).unwrap();
+        let mut g = MetroGraph::new(swap);
+        let src = g.add_source(1_000);
+        let from = g.add_server();
+        let to = g.add_server();
+        // Chain of `rungs` stages; each stage offers two parallel
+        // repeater hops (plane A at vis_a, plane B at vis_b).
+        let mut left = from;
+        let mut edges = Vec::new();
+        for stage in 0..rungs {
+            let right = if stage + 1 == rungs { to } else { g.add_repeater() };
+            let mid_a = g.add_repeater();
+            let mid_b = g.add_repeater();
+            edges.push(g.connect(left, mid_a, 1.0, vis_a, src).unwrap());
+            edges.push(g.connect(mid_a, right, 1.0, vis_a, src).unwrap());
+            edges.push(g.connect(left, mid_b, 1.0, vis_b, src).unwrap());
+            edges.push(g.connect(mid_b, right, 1.0, vis_b, src).unwrap());
+            left = right;
+        }
+        let mut downed = vec![false; g.edges().len()];
+        for (i, &e) in edges.iter().enumerate() {
+            downed[e as usize] = (cut_mask >> (i % 32)) & 1 == 1;
+        }
+        let pristine = best_path(&g, from, to, &[]).unwrap();
+        match best_path(&g, from, to, &downed) {
+            Ok(r) => {
+                for &e in &r.edges {
+                    prop_assert!(!downed[e as usize], "route used downed edge {e}");
+                }
+                // Optimality can only degrade under cuts.
+                prop_assert!(r.visibility <= pristine.visibility + 1e-12);
+                prop_assert!(r.edges.len() >= pristine.edges.len());
+            }
+            Err(e) => prop_assert!(matches!(e, TopologyError::NoRoute { .. })),
+        }
+    }
+
+    /// The scheduler conserves budgets exactly: per-source spend never
+    /// exceeds the budget, grants never exceed demand, and (work
+    /// conservation) when it stops, no pair with remaining demand can
+    /// afford its chain. Holds for both policies on arbitrary inputs.
+    #[test]
+    fn scheduler_conserves_budget_exactly(
+        budgets in proptest::collection::vec(0u64..200, 1..4),
+        pairs in proptest::collection::vec(
+            (proptest::collection::vec((0u32..4, 1u64..4), 0..3), 0u64..60),
+            1..6),
+    ) {
+        let usage: Vec<Vec<(u32, u64)>> = pairs
+            .iter()
+            .map(|(u, _)| {
+                u.iter()
+                    .filter(|&&(s, _)| (s as usize) < budgets.len())
+                    .copied()
+                    .collect()
+            })
+            .collect();
+        let demand: Vec<u64> = pairs.iter().map(|&(_, d)| d).collect();
+        for policy in [Policy::RoundRobin, Policy::HighestDemandFirst] {
+            let grants = allocate(&budgets, &usage, &demand, policy);
+            let mut spent = vec![0u64; budgets.len()];
+            for (p, &gr) in grants.iter().enumerate() {
+                prop_assert!(gr <= demand[p], "over-served pair {p}");
+                for &(s, n) in &usage[p] {
+                    spent[s as usize] += gr * n;
+                }
+            }
+            let mut remaining = budgets.clone();
+            for (s, &sp) in spent.iter().enumerate() {
+                prop_assert!(sp <= budgets[s], "source {s} overspent: {sp} > {}", budgets[s]);
+                remaining[s] -= sp;
+            }
+            // Work conservation: every unsatisfied pair is unaffordable.
+            // (A pair with an empty usage vector costs nothing, so it is
+            // always affordable and must be fully served.)
+            for (p, &gr) in grants.iter().enumerate() {
+                if gr < demand[p] {
+                    // Aggregate duplicated source entries: one more
+                    // attempt costs their *sum* per source.
+                    let mut need = vec![0u64; budgets.len()];
+                    for &(s, n) in &usage[p] {
+                        need[s as usize] += n;
+                    }
+                    prop_assert!(
+                        need.iter()
+                            .zip(&remaining)
+                            .any(|(&n, &left)| left < n),
+                        "pair {p} starved while affordable under {policy:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Relabeling the nodes (rebuilding the same two-plane graph with a
+    /// permuted insertion order) changes neither the delivered visibility
+    /// nor the hop count of the best route.
+    #[test]
+    fn route_invariant_under_relabeling(
+        rungs in 1usize..5,
+        vis_a in 0.8f64..1.0,
+        vis_b in 0.8f64..1.0,
+        reverse_stages in any::<bool>(),
+        swap_planes in any::<bool>(),
+    ) {
+        let swap = SwapModel::new(0.9, 0.97).unwrap();
+        // Plane A strictly better unless the draw made B better; either
+        // way both builds share the same physical graph.
+        let build = |stage_order_rev: bool, planes_swapped: bool| {
+            let mut g = MetroGraph::new(swap);
+            let src = g.add_source(1_000);
+            let from = g.add_server();
+            let to = g.add_server();
+            // Pre-create interior rung nodes so stage order is free.
+            let mut rung_nodes = vec![from];
+            for _ in 1..rungs {
+                rung_nodes.push(g.add_repeater());
+            }
+            rung_nodes.push(to);
+            let stages: Vec<usize> = if stage_order_rev {
+                (0..rungs).rev().collect()
+            } else {
+                (0..rungs).collect()
+            };
+            for &stage in &stages {
+                let (left, right) = (rung_nodes[stage], rung_nodes[stage + 1]);
+                let planes = if planes_swapped {
+                    [(vis_b, 1.5), (vis_a, 1.0)]
+                } else {
+                    [(vis_a, 1.0), (vis_b, 1.5)]
+                };
+                for (v, km) in planes {
+                    let mid = g.add_repeater();
+                    g.connect(left, mid, km, v, src).unwrap();
+                    g.connect(mid, right, km, v, src).unwrap();
+                }
+            }
+            best_path(&g, from, to, &[]).unwrap()
+        };
+        let reference = build(false, false);
+        let relabeled = build(reverse_stages, swap_planes);
+        prop_assert!(
+            (reference.visibility - relabeled.visibility).abs() < 1e-12,
+            "relabeling changed visibility: {} vs {}",
+            reference.visibility,
+            relabeled.visibility
+        );
+        prop_assert_eq!(reference.edges.len(), relabeled.edges.len());
+    }
+}

@@ -23,6 +23,9 @@ pub enum Track {
     Qnic { lane: u32, side: Side },
     /// Fallback governor of degrading strategy `g` (sim clock).
     Governor(u32),
+    /// Repeater chain serving routed server pair `c` in a metro
+    /// topology run (sim clock).
+    Chain(u32),
 }
 
 /// Which endpoint of a two-QNIC distributor lane.

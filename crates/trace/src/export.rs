@@ -36,6 +36,7 @@ fn track_ids(track: Track) -> (u64, u64) {
             };
             (PID_SIM, 1_000_000 + 4 * u64::from(lane) + s)
         }
+        Track::Chain(c) => (PID_SIM, 2_000_000 + u64::from(c)),
     }
 }
 
@@ -47,6 +48,7 @@ fn track_name(track: Track) -> String {
         Track::Source(l) => format!("source-{l}"),
         Track::Qnic { lane, side } => format!("qnic-{lane}{}", side.name()),
         Track::Governor(g) => format!("governor-{g}"),
+        Track::Chain(c) => format!("chain-{c}"),
     }
 }
 
@@ -56,6 +58,9 @@ fn track_name(track: Track) -> String {
 fn track_lane(track: Track) -> Option<u32> {
     match track {
         Track::Source(l) | Track::Qnic { lane: l, .. } => Some(l),
+        // A chain's pair ids are scoped by its own track (one chain per
+        // routed server pair), so it doubles as the lane.
+        Track::Chain(c) => Some(c),
         Track::Main | Track::Worker(_) | Track::Governor(_) => None,
     }
 }
