@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test clippy bench-compile bench-sweep bench-xor bench-plane bench-scale bench-trace bench-ghz bench-topology repro-quick trace-quick perf-diff test-stat test-topology
+.PHONY: ci build test clippy bench-compile bench-sweep bench-xor bench-plane bench-scale bench-trace bench-ghz bench-topology bench-serve repro-quick trace-quick perf-diff test-stat test-topology test-serve serve-soak
 
 ci: build test clippy bench-compile repro-quick
 
@@ -61,6 +61,28 @@ bench-ghz:
 # DESIGN.md §5 topology rows.
 bench-topology:
 	$(CARGO) bench -p qnlg-bench --bench topology
+
+# Served decision-path ablation: pre-drawn SPSC ring vs the same slots
+# handed through a Mutex<VecDeque> (ring-vs-lock knob) vs drawing each
+# slot on demand (buffering knob) — the DESIGN.md §5 qnlg-serve rows
+# (acceptance bar: SPSC ≥3x over the mutex/draw-on-demand baseline).
+bench-serve:
+	$(CARGO) bench -p qnlg-bench --bench serve
+
+# The qnlg-serve battery: SPSC ring property tests, the zero-alloc
+# counting-allocator gate, the in-process + Unix-socket service tests,
+# the E11 experiment's own checks, and the BENCH_serve.json
+# determinism arm.
+test-serve:
+	$(CARGO) test -p qnlg-serve
+	$(CARGO) test -p qnlg-bench --lib serve
+	$(CARGO) test -p qnlg-bench --test determinism serve
+
+# Open-ended wall-clock soak of the serve hot path (Ctrl-C to stop;
+# finishes the current round, then writes the artifact with the
+# measured decisions/sec and latency percentiles).
+serve-soak:
+	$(CARGO) run --release -p qnlg-bench --bin repro -- serve --soak --json --out artifacts/
 
 # Quick-budget chaos run with the event timeline on: writes
 # artifacts/TRACE_fig4-faults.json (Chrome trace_event — load in

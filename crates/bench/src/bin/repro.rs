@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--quick] [--json] [--out <dir>] [--trace]
+//! repro serve --soak [--socket <path>] [--json] [--out <dir>] [--trace]
 //! repro all [--quick] [--json] [--out <dir>] [--trace]
 //! repro check-artifacts <dir>
 //! repro perf-diff <old-dir> <new-dir> [--tolerance <ratio>]
@@ -13,6 +14,16 @@
 //! one `BENCH_<experiment>.json` artifact per experiment (text output
 //! stays on stdout unless `--json` is also given). `check-artifacts`
 //! re-validates previously written artifacts against the schema.
+//!
+//! `--soak` (serve only) replaces the serve experiment's bounded
+//! wall-clock arms with an open-ended soak that runs until SIGINT; the
+//! handler just sets a flag, the measurement loop drains gracefully, and
+//! the full artifact — deterministic checks plus whatever wall-clock
+//! windows completed — is still emitted. `--socket <path>` additionally
+//! binds a Unix socket serving the length-prefixed decision protocol
+//! (`serve::socket`) from a threaded `Service` for the soak's lifetime,
+//! so out-of-process callers can query placements while the soak runs;
+//! SIGINT drains connections and shuts the service down gracefully.
 //!
 //! `--trace` (requires `--out`) additionally records the event timeline
 //! and writes `TRACE_<experiment>.json` (Chrome `trace_event` format —
@@ -44,12 +55,31 @@
 //! | pipeline         | E8: hardware-in-the-loop Figure 4                |
 //! | ghz              | E9: multiparty Mermin/Magic-Square crossover     |
 //! | topology         | E10: metro repeater chains + contention routing  |
+//! | serve            | E11: qnlg-serve sub-µs decision service          |
 
 use qnlg_bench::report::{validate_artifact_line, write_artifact, PerfStats, RunContext};
 use qnlg_bench::{experiments, perfdiff, Report, Table};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+
+/// Set by the SIGINT handler under `--soak`; the serve soak loop drains
+/// gracefully when it flips.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigint(_signum: i32) {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+// `signal(2)` straight from libc (already linked by std): installing a
+// flag-only handler needs none of the sigaction machinery.
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// POSIX SIGINT.
+const SIGINT: i32 = 2;
 
 /// Sim-time width of one `series` window (1 ms of simulated time; the
 /// recorder caps itself at `trace::series::MAX_WINDOWS`).
@@ -60,6 +90,8 @@ struct Options {
     json: bool,
     out: Option<PathBuf>,
     trace: bool,
+    soak: bool,
+    socket: Option<PathBuf>,
     tolerance: Option<f64>,
 }
 
@@ -76,7 +108,13 @@ struct RunOutput {
 /// artifact's `obs` section covers exactly this run; times the run for
 /// the artifact's `perf` section, records the windowed `series`, and —
 /// under `--trace` — captures the event timeline.
-fn run_instrumented(name: &str, quick: bool, tracing: bool) -> Option<RunOutput> {
+fn run_instrumented(
+    name: &str,
+    quick: bool,
+    tracing: bool,
+    soak: bool,
+    socket: Option<&Path>,
+) -> Option<RunOutput> {
     obs::reset();
     obs::set_enabled(true);
     if tracing {
@@ -85,7 +123,33 @@ fn run_instrumented(name: &str, quick: bool, tracing: bool) -> Option<RunOutput>
     }
     trace::series::start(SERIES_WINDOW_NS);
     let started = Instant::now();
-    let report = experiments::run(name, quick);
+    let report = if soak {
+        // Only serve has an open-ended soak mode; `main` rejects --soak
+        // for anything else. Under --socket, a threaded Service answers
+        // the wire protocol for the soak's lifetime; its counters land
+        // in the artifact's obs section alongside the soak's own.
+        let served = socket.map(|path| {
+            let config = serve::ServeConfig::typical(qnlg_bench::point_seed(46, 4, 0));
+            let service = std::sync::Arc::new(serve::Service::start(&config));
+            let server = serve::socket::SocketServer::start(path, std::sync::Arc::clone(&service))
+                .unwrap_or_else(|e| {
+                    eprintln!("error: cannot bind {}: {e}", path.display());
+                    std::process::exit(2);
+                });
+            eprintln!("serving decisions on {}", path.display());
+            (server, service)
+        });
+        let report = experiments::serve_exp::run_soak(&INTERRUPTED);
+        if let Some((mut server, service)) = served {
+            // Drain connections first, then drop the last Service ref so
+            // its graceful shutdown flushes counters into this snapshot.
+            server.stop();
+            drop(service);
+        }
+        Some(report)
+    } else {
+        experiments::run(name, quick)
+    };
     let elapsed = started.elapsed();
     let series = trace::series::finish();
     let trace_log = tracing.then(|| {
@@ -292,6 +356,8 @@ fn main() -> ExitCode {
         json: false,
         out: None,
         trace: false,
+        soak: false,
+        socket: None,
         tolerance: None,
     };
     let mut names: Vec<String> = Vec::new();
@@ -301,6 +367,14 @@ fn main() -> ExitCode {
             "--quick" => opts.quick = true,
             "--json" => opts.json = true,
             "--trace" => opts.trace = true,
+            "--soak" => opts.soak = true,
+            "--socket" => match it.next() {
+                Some(path) => opts.socket = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("error: --socket requires a socket path argument");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--out" => match it.next() {
                 Some(dir) => opts.out = Some(PathBuf::from(dir)),
                 None => {
@@ -326,7 +400,8 @@ fn main() -> ExitCode {
     let Some(first) = names.first().cloned() else {
         eprintln!(
             "usage: repro <experiment|all|list|check-artifacts|perf-diff> \
-             [--quick] [--json] [--out <dir>] [--trace] [--tolerance <ratio>]"
+             [--quick] [--json] [--out <dir>] [--trace] [--soak] [--socket <path>] \
+             [--tolerance <ratio>]"
         );
         eprintln!("experiments: {}", experiments::ALL.join(", "));
         return ExitCode::FAILURE;
@@ -334,6 +409,22 @@ fn main() -> ExitCode {
 
     if opts.trace && opts.out.is_none() {
         eprintln!("error: --trace requires --out <dir> (traces are written, not printed)");
+        return ExitCode::FAILURE;
+    }
+
+    if opts.soak {
+        if names != ["serve"] {
+            eprintln!("error: --soak only applies to the serve experiment (repro serve --soak)");
+            return ExitCode::FAILURE;
+        }
+        // SAFETY: installs a signal handler that only stores to an
+        // AtomicBool, which is async-signal-safe.
+        unsafe { signal(SIGINT, on_sigint) };
+        eprintln!("soak: running until SIGINT (ctrl-c drains and emits the artifact)");
+    }
+
+    if opts.socket.is_some() && !opts.soak {
+        eprintln!("error: --socket requires --soak (the socket serves for the soak's lifetime)");
         return ExitCode::FAILURE;
     }
 
@@ -376,8 +467,8 @@ fn main() -> ExitCode {
                 if !opts.json {
                     println!("================================================================");
                 }
-                let out =
-                    run_instrumented(name, opts.quick, opts.trace).expect("ALL only lists known experiments");
+                let out = run_instrumented(name, opts.quick, opts.trace, false, None)
+                    .expect("ALL only lists known experiments");
                 all_passed &= emit(&out, &opts);
                 if !out.report.passed() {
                     eprintln!("FAIL: experiment '{name}' acceptance checks failed");
@@ -395,7 +486,13 @@ fn main() -> ExitCode {
         _ => {
             let mut ok = true;
             for name in &names {
-                match run_instrumented(name, opts.quick, opts.trace) {
+                match run_instrumented(
+                    name,
+                    opts.quick,
+                    opts.trace,
+                    opts.soak,
+                    opts.socket.as_deref(),
+                ) {
                     Some(out) => {
                         ok &= emit(&out, &opts);
                         if !out.report.passed() {

@@ -11,6 +11,7 @@ pub mod hybrid_exp;
 pub mod noise_exp;
 pub mod pipeline_exp;
 pub mod scale_exp;
+pub mod serve_exp;
 pub mod timing_exp;
 pub mod topology_exp;
 
@@ -31,6 +32,7 @@ pub const ALL: &[&str] = &[
     "pipeline",
     "ghz",
     "topology",
+    "serve",
 ];
 
 /// Dispatches one experiment by name, returning its typed report.
@@ -51,6 +53,7 @@ pub fn run(name: &str, quick: bool) -> Option<crate::Report> {
         "pipeline" => pipeline_exp::run(quick),
         "ghz" => ghz_exp::run(quick),
         "topology" => topology_exp::run(quick),
+        "serve" => serve_exp::run(quick),
         _ => return None,
     })
 }

@@ -35,6 +35,14 @@ pub struct PerfEntry {
     /// Game rounds played per second (0 when no game kernel ran; absent
     /// in pre-kernel artifacts, which reads as 0 and is skipped).
     pub rounds_per_sec: f64,
+    /// Served decisions per second of hot-path busy time (0 when no
+    /// service ran; absent in pre-serve artifacts, which reads as 0 and
+    /// is skipped).
+    pub decisions_per_sec: f64,
+    /// 99th-percentile served decision latency in ns (0 when no service
+    /// ran). A *latency*: regression direction is new/old, unlike the
+    /// throughput rates above.
+    pub p99_ns: f64,
 }
 
 /// One metric comparison between matching experiments.
@@ -128,6 +136,8 @@ fn entry_from_doc(doc: &Json) -> Result<PerfEntry, String> {
         pairs_per_sec: num("pairs_per_sec"),
         tasks_per_sec: num("tasks_per_sec"),
         rounds_per_sec: num("rounds_per_sec"),
+        decisions_per_sec: num("decisions_per_sec"),
+        p99_ns: num("p99_ns"),
     })
 }
 
@@ -180,6 +190,7 @@ fn compare_pair(old: &PerfEntry, new: &PerfEntry, tolerance: f64, result: &mut D
         ("pairs_per_sec", old.pairs_per_sec, new.pairs_per_sec),
         ("tasks_per_sec", old.tasks_per_sec, new.tasks_per_sec),
         ("rounds_per_sec", old.rounds_per_sec, new.rounds_per_sec),
+        ("decisions_per_sec", old.decisions_per_sec, new.decisions_per_sec),
     ] {
         // A rate of 0 means "this experiment exercises no such
         // subsystem" — nothing to regress.
@@ -192,6 +203,25 @@ fn compare_pair(old: &PerfEntry, new: &PerfEntry, tolerance: f64, result: &mut D
             metric,
             old: o,
             new: n,
+            slowdown,
+            regressed: slowdown > tolerance,
+        });
+    }
+    // p99 latency: higher is worse, so the slowdown direction flips.
+    // Histogram bucket bounds are powers of two, so a one-bucket drift
+    // already reads as 2x — latency inherits the same generous tolerance
+    // as throughput rather than getting a tighter one.
+    if old.p99_ns > 0.0 {
+        let slowdown = if new.p99_ns > 0.0 {
+            new.p99_ns / old.p99_ns
+        } else {
+            f64::INFINITY
+        };
+        result.lines.push(DiffLine {
+            experiment: old.experiment.clone(),
+            metric: "p99_ns",
+            old: old.p99_ns,
+            new: new.p99_ns,
             slowdown,
             regressed: slowdown > tolerance,
         });
@@ -210,6 +240,8 @@ mod tests {
             pairs_per_sec: pairs,
             tasks_per_sec: tasks,
             rounds_per_sec: 0.0,
+            decisions_per_sec: 0.0,
+            p99_ns: 0.0,
         }
     }
 
@@ -282,6 +314,34 @@ mod tests {
     }
 
     #[test]
+    fn latency_regression_direction_is_inverted() {
+        let mut old = entry("serve", true, 1_000, 0.0, 0.0);
+        old.decisions_per_sec = 8e6;
+        old.p99_ns = 255.0;
+        // Faster (lower) p99 and faster throughput: no regression.
+        let mut better = old.clone();
+        better.p99_ns = 127.0;
+        better.decisions_per_sec = 9e6;
+        assert!(!diff(&[old.clone()], &[better], DEFAULT_TOLERANCE).regressed());
+        // p99 doubling trips the gate even with throughput unchanged.
+        let mut worse = old.clone();
+        worse.p99_ns = 1023.0;
+        let d = diff(&[old.clone()], &[worse], DEFAULT_TOLERANCE);
+        assert!(d.regressed());
+        let bad: Vec<_> = d.lines.iter().filter(|l| l.regressed).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].metric, "p99_ns");
+        // A vanished serve section regresses both serve metrics.
+        let gone = entry("serve", true, 1_000, 0.0, 0.0);
+        let d = diff(&[old], &[gone], DEFAULT_TOLERANCE);
+        assert!(d
+            .lines
+            .iter()
+            .filter(|l| l.metric == "decisions_per_sec" || l.metric == "p99_ns")
+            .all(|l| l.regressed && l.slowdown.is_infinite()));
+    }
+
+    #[test]
     fn load_dir_round_trips_written_artifacts() {
         let dir = std::env::temp_dir().join(format!(
             "qnlg-perfdiff-{}-{:?}",
@@ -301,6 +361,10 @@ mod tests {
                 pairs_per_sec: 1e6,
                 tasks_per_sec: 2e3,
                 rounds_per_sec: 5e5,
+                decisions_per_sec: 8e6,
+                p50_ns: 127.0,
+                p99_ns: 511.0,
+                p999_ns: 1023.0,
             }),
             series: None,
         };
@@ -313,6 +377,8 @@ mod tests {
         assert_eq!(entries[0].elapsed_ns, Some(42_000));
         assert!((entries[0].pairs_per_sec - 1e6).abs() < 1e-9);
         assert!((entries[0].rounds_per_sec - 5e5).abs() < 1e-9);
+        assert!((entries[0].decisions_per_sec - 8e6).abs() < 1e-9);
+        assert!((entries[0].p99_ns - 511.0).abs() < 1e-9);
         let d = diff(&entries, &entries, DEFAULT_TOLERANCE);
         assert!(!d.regressed());
         let _ = std::fs::remove_dir_all(&dir);

@@ -174,6 +174,10 @@ impl Report {
                     ("pairs_per_sec", Json::num(p.pairs_per_sec)),
                     ("tasks_per_sec", Json::num(p.tasks_per_sec)),
                     ("rounds_per_sec", Json::num(p.rounds_per_sec)),
+                    ("decisions_per_sec", Json::num(p.decisions_per_sec)),
+                    ("p50_ns", Json::num(p.p50_ns)),
+                    ("p99_ns", Json::num(p.p99_ns)),
+                    ("p999_ns", Json::num(p.p999_ns)),
                 ]),
                 None => Json::Null,
             },
@@ -218,6 +222,20 @@ pub struct PerfStats {
     /// Multiparty game rounds played per wall-clock second
     /// (`games.ghz.rounds / elapsed`); 0 when no game kernel runs.
     pub rounds_per_sec: f64,
+    /// Served placement decisions per wall-clock second of *hot-path
+    /// busy time* (`qnlg.serve.hot.decisions / qnlg.serve.hot.ns`):
+    /// the serve experiment's measured drain loops only, so open-loop
+    /// pacing and refill time don't dilute the figure. 0 when no
+    /// service runs.
+    pub decisions_per_sec: f64,
+    /// Median served decision latency in ns (from the
+    /// `qnlg.serve.decision_latency_ns` histogram; bucket upper
+    /// bounds). 0 when no service runs.
+    pub p50_ns: f64,
+    /// 99th-percentile served decision latency in ns.
+    pub p99_ns: f64,
+    /// 99.9th-percentile served decision latency in ns.
+    pub p999_ns: f64,
 }
 
 impl PerfStats {
@@ -231,11 +249,31 @@ impl PerfStats {
                 .map(|(_, v)| *v as f64)
                 .unwrap_or(0.0)
         };
+        // Decision throughput is per second of hot-path busy time, not
+        // per second of total experiment wall clock: the serve soak
+        // spends most of its elapsed time paced (open-loop) or refilling.
+        let hot_ns = counter("qnlg.serve.hot.ns");
+        let decisions_per_sec = if hot_ns > 0.0 {
+            counter("qnlg.serve.hot.decisions") / (hot_ns / 1e9)
+        } else {
+            0.0
+        };
+        let latency = snap.and_then(|s| s.hist("qnlg.serve.decision_latency_ns"));
+        let pct = |q: f64| -> f64 {
+            latency
+                .and_then(|h| h.percentile(q))
+                .map(|v| v as f64)
+                .unwrap_or(0.0)
+        };
         PerfStats {
             elapsed_ns,
             pairs_per_sec: counter("qnet.epr.emitted") / secs,
             tasks_per_sec: counter("lb.tasks.assigned") / secs,
             rounds_per_sec: counter("games.ghz.rounds") / secs,
+            decisions_per_sec,
+            p50_ns: pct(0.50),
+            p99_ns: pct(0.99),
+            p999_ns: pct(0.999),
         }
     }
 }
@@ -447,6 +485,22 @@ pub fn validate_artifact_line(line: &str) -> Result<Json, String> {
                 return Err(format!("'perf.{field}' is not a number"));
             }
         }
+        // Later schema additions (PR 8's rounds_per_sec, the serve
+        // metrics) are optional for backward compatibility with old
+        // artifacts, but must be numbers when present.
+        for field in [
+            "rounds_per_sec",
+            "decisions_per_sec",
+            "p50_ns",
+            "p99_ns",
+            "p999_ns",
+        ] {
+            if let Some(v) = perf.get(field) {
+                if v.as_f64().is_none() {
+                    return Err(format!("'perf.{field}' is not a number"));
+                }
+            }
+        }
     }
     // `series` must be present; when populated (not the determinism-pinned
     // null) it needs a window width and a windows array.
@@ -505,6 +559,10 @@ mod tests {
                 pairs_per_sec: 2e6,
                 tasks_per_sec: 4e5,
                 rounds_per_sec: 3e6,
+                decisions_per_sec: 8e6,
+                p50_ns: 127.0,
+                p99_ns: 511.0,
+                p999_ns: 1023.0,
             }),
             series: None,
         };
@@ -514,6 +572,8 @@ mod tests {
         let perf = doc.get("perf").unwrap();
         assert_eq!(perf.get("elapsed_ns").unwrap().as_i64(), Some(1_500_000));
         assert!(perf.get("pairs_per_sec").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(perf.get("decisions_per_sec").unwrap().as_f64(), Some(8e6));
+        assert_eq!(perf.get("p99_ns").unwrap().as_f64(), Some(511.0));
         assert_eq!(doc.get("seed").unwrap().as_i64(), Some(7));
         assert_eq!(doc.get("passed").unwrap().as_bool(), Some(true));
         let interval = doc.get("intervals").unwrap().get("cc").unwrap();
@@ -538,6 +598,25 @@ mod tests {
             validate_artifact_line(r#"{"schema":"qnlg.bench.v2"}"#).is_err(),
             "wrong schema version must be rejected"
         );
+    }
+
+    #[test]
+    fn validator_accepts_old_perf_blocks_and_rejects_bad_new_fields() {
+        // A pre-PR-8 artifact: perf without any of the later additions.
+        let old = r#"{"schema":"qnlg.bench.v1","experiment":"sample","seed":7,
+            "quick":true,"threads":1,"git":"x","passed":true,"points":[],
+            "checks":[],"scalars":{},"intervals":{},"obs":null,"series":null,
+            "perf":{"elapsed_ns":5,"pairs_per_sec":1.0,"tasks_per_sec":1.0}}"#;
+        let line = old.replace('\n', " ");
+        validate_artifact_line(&line).expect("optional perf fields may be absent");
+
+        // But when present, the serve metrics must be numbers.
+        let bad = line.replace(
+            r#""tasks_per_sec":1.0"#,
+            r#""tasks_per_sec":1.0,"decisions_per_sec":"fast""#,
+        );
+        let err = validate_artifact_line(&bad).expect_err("string decisions_per_sec");
+        assert!(err.contains("decisions_per_sec"), "got: {err}");
     }
 
     #[test]

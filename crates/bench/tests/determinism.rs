@@ -393,6 +393,88 @@ fn topology_artifact_is_thread_obs_and_trace_invariant() {
     );
 }
 
+/// The served decision path end-to-end: the E11 quick artifact (control,
+/// fault, and starvation soaks over pre-drawn SPSC decision lanes) must
+/// be byte-identical across reruns, across ambient worker counts, with
+/// obs recording on, and with the event timeline recording — the CI
+/// determinism arm for `BENCH_serve.json`. Slot purity is the load-
+/// bearing property: every ring slot is a function of (master seed,
+/// endpoint, sequence), with slot sim-time derived from the sequence
+/// number, so *when* the refill pump runs can never change *what* it
+/// draws. The wall-clock measurement arms report to obs and stderr only,
+/// so they never enter the canonical payload this test pins.
+#[test]
+fn serve_artifact_is_rerun_obs_and_trace_invariant() {
+    let sequential = qnlg_bench::experiments::serve_exp::run(true);
+    let reference_text = format!("{sequential}");
+    let reference_json = canonical_json(&sequential);
+    // The service core is single-threaded by construction; ambient
+    // worker counts (QNLG_THREADS) must not leak into the artifact.
+    // Reruns under the test harness's parallel scheduling stand in for
+    // the 1/2/4-worker sweep the par_sweep experiments do explicitly.
+    for run in 0..2 {
+        let report = qnlg_bench::experiments::serve_exp::run(true);
+        assert_eq!(
+            format!("{report}"),
+            reference_text,
+            "rerun {run} changed the text report"
+        );
+        assert_eq!(
+            canonical_json(&report),
+            reference_json,
+            "rerun {run} changed the JSON artifact"
+        );
+    }
+    // Metrics must observe, never perturb — and the instrumented run
+    // must feed both the lane counters and the hot-path counters behind
+    // perf.decisions_per_sec / p99_ns.
+    obs::reset();
+    obs::set_enabled(true);
+    let observed = qnlg_bench::experiments::serve_exp::run(true);
+    let snap = obs::snapshot();
+    obs::set_enabled(false);
+    assert_eq!(
+        canonical_json(&observed),
+        reference_json,
+        "enabling obs changed the serve report"
+    );
+    for counter in [
+        "qnlg.serve.decisions",
+        "qnlg.serve.slots",
+        "qnlg.serve.exhausted",
+        "qnlg.serve.hot.decisions",
+        "qnlg.serve.hot.ns",
+    ] {
+        assert!(
+            snap.counter(counter).unwrap_or(0) > 0,
+            "instrumented serve run must bump {counter}"
+        );
+    }
+    assert!(
+        snap.hist("qnlg.serve.decision_latency_ns")
+            .is_some_and(|h| h.count > 0),
+        "instrumented serve run must sample decision latency"
+    );
+    // Tracing must observe, never perturb — and the endpoint lanes must
+    // land on the timeline (refill instants at minimum).
+    trace::reset();
+    trace::set_enabled(true);
+    let traced = qnlg_bench::experiments::serve_exp::run(true);
+    trace::set_enabled(false);
+    let log = trace::drain();
+    assert_eq!(
+        canonical_json(&traced),
+        reference_json,
+        "enabling trace changed the serve report"
+    );
+    assert!(
+        log.events
+            .iter()
+            .any(|e| matches!(e.track, trace::Track::Endpoint(_))),
+        "traced serve run must record endpoint-track events"
+    );
+}
+
 /// The JSON artifact line for fig4 must validate against the schema and
 /// carry the fields the acceptance criteria promise: seed, thread count,
 /// per-point SimResult fields, and Wilson intervals.

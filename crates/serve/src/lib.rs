@@ -1,0 +1,44 @@
+//! `qnlg-serve`: the long-lived coordination service.
+//!
+//! Everything else in this workspace measures the paper's claims inside
+//! closed `repro` loops. This crate is the operational shape those
+//! claims ask for (ROADMAP item 5, and the backend/operator split of the
+//! qflow line of work): a daemon that owns the entanglement plane —
+//! [`qnet::EntanglementDistributor`] lanes fed by a background refill
+//! thread — and answers task-placement queries on a decision path that
+//! is **allocation-free and sub-microsecond at p99**.
+//!
+//! The architecture is three layers, one module each:
+//!
+//! - [`ring`]: lock-free SPSC rings (cache-line-padded indices,
+//!   power-of-two capacity, batched publish) carry pre-drawn decisions
+//!   from the plane to each endpoint.
+//! - [`decision`]: the pre-drawn [`decision::DecisionSlot`] — one
+//!   candidate-server draw plus flipped-CHSH outcome bits for all four
+//!   input combinations, each slot a pure function of `(master seed,
+//!   endpoint, sequence)` so artifacts are byte-identical across thread
+//!   counts.
+//! - [`endpoint`] / [`service`]: the producer/consumer lane halves and
+//!   the service bundles — single-threaded [`ServiceCore`] (the
+//!   measurement-grade in-process path) and threaded [`Service`] with
+//!   graceful, exactly-once-flushing shutdown. A drained ring never
+//!   blocks a decision: the endpoint degrades inline to the
+//!   classical-shared tier, and the live [`FallbackGovernor`] in each
+//!   feed moves the *produced* slots between tiers as plane health
+//!   changes.
+//!
+//! [`socket`] adds a length-prefixed Unix-socket protocol (`repro serve
+//! --soak --socket <path>`) for out-of-process callers.
+//!
+//! [`FallbackGovernor`]: loadbalance::degrade::FallbackGovernor
+
+pub mod decision;
+pub mod endpoint;
+pub mod measure;
+pub mod ring;
+pub mod service;
+pub mod socket;
+
+pub use decision::{DecisionSlot, Placement, TIER_CLASSICAL, TIER_INDEPENDENT, TIER_QUANTUM};
+pub use endpoint::{DecisionEndpoint, EndpointFeed, EndpointStats, FeedStats};
+pub use service::{ServeConfig, Service, ServiceCore, ServiceSummary};

@@ -1,0 +1,438 @@
+//! The service itself: configuration, the single-threaded
+//! [`ServiceCore`] (measurement-grade: the sub-µs in-process path), and
+//! the threaded [`Service`] with a background refill thread and graceful
+//! shutdown.
+//!
+//! `ServiceCore` bundles every lane's feed and endpoint behind one `&mut
+//! self`; the caller interleaves `pump_all` (refill) and `decide` (hot
+//! path) however it likes. That is the configuration the acceptance
+//! numbers are quoted for — on a single core, a separate refill thread
+//! would *compete* with the decision path rather than hide behind it.
+//! `Service` splits the same lanes across threads: one pump thread owns
+//! every [`EndpointFeed`], callers reach endpoints through per-endpoint
+//! mutexes (uncontended unless two callers share an endpoint, which the
+//! socket server never does by construction).
+//!
+//! Shutdown is idempotent and exactly-once: the pump thread is joined,
+//! every in-flight ring slot stays consumable (pre-drawn slots are
+//! *state*, not liabilities — a drained service answers from its buffers
+//! until they run dry), and obs counter deltas are flushed exactly once
+//! no matter how many of `shutdown` / `Drop` run.
+
+use crate::decision::Placement;
+use crate::endpoint::{DecisionEndpoint, EndpointFeed, EndpointStats, FeedStats};
+use crate::ring;
+use loadbalance::degrade::HysteresisConfig;
+use qnet::DistributorConfig;
+use runtime::stream_seed;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Configuration of a coordination service.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Servers the placement decisions choose among.
+    pub n_servers: u32,
+    /// Decision endpoints (one ring + distributor lane each).
+    pub n_endpoints: u32,
+    /// Ring capacity per endpoint (power of two).
+    pub ring_capacity: usize,
+    /// Refill when ring occupancy drops to this or below.
+    pub low_water: usize,
+    /// Slots drawn per refill batch.
+    pub refill_batch: usize,
+    /// Simulated time between consecutive decisions on one endpoint
+    /// (slot `seq` is consumed at sim time `(seq+1) · period`).
+    pub decision_period: Duration,
+    /// The entanglement plane backing each lane.
+    pub distributor: DistributorConfig,
+    /// Fallback governor thresholds.
+    pub hysteresis: HysteresisConfig,
+    /// Master seed; all endpoint streams derive from it.
+    pub master_seed: u64,
+}
+
+impl ServeConfig {
+    /// A representative healthy service: 4 endpoints × 64 servers over
+    /// the typical room-temperature plane, decisions every 20 µs of sim
+    /// time (half the delivered-pair rate, so the quantum tier holds).
+    pub fn typical(master_seed: u64) -> Self {
+        ServeConfig {
+            n_servers: 64,
+            n_endpoints: 4,
+            ring_capacity: 4096,
+            low_water: 1024,
+            refill_batch: 2048,
+            decision_period: Duration::from_micros(20),
+            distributor: DistributorConfig::typical(),
+            hysteresis: HysteresisConfig::default(),
+            master_seed,
+        }
+    }
+}
+
+/// Aggregate counters for a whole service run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceSummary {
+    /// Summed endpoint (consumer) counters.
+    pub endpoints: EndpointStats,
+    /// Summed feed (producer) counters.
+    pub feeds: FeedStats,
+}
+
+fn sum_stats(
+    endpoints: impl Iterator<Item = EndpointStats>,
+    feeds: impl Iterator<Item = FeedStats>,
+) -> ServiceSummary {
+    let mut out = ServiceSummary::default();
+    for s in endpoints {
+        out.endpoints.decisions += s.decisions;
+        out.endpoints.exhausted += s.exhausted;
+        for t in 0..3 {
+            out.endpoints.by_tier[t] += s.by_tier[t];
+        }
+    }
+    for f in feeds {
+        out.feeds.produced += f.produced;
+        out.feeds.refills += f.refills;
+        out.feeds.misses += f.misses;
+        out.feeds.transitions += f.transitions;
+    }
+    out
+}
+
+/// Builds the per-endpoint lanes for a config: `(feeds, endpoints)`.
+///
+/// Endpoint `e` uses stream family `stream_seed(master, 2e)` for its
+/// slot/fallback streams and family `2e + 1` for the distributor's
+/// internal randomness, so slot draws and plane noise never share a
+/// stream.
+fn build_lanes(config: &ServeConfig) -> (Vec<EndpointFeed>, Vec<DecisionEndpoint>) {
+    assert!(config.n_endpoints > 0, "need at least one endpoint");
+    let mut feeds = Vec::with_capacity(config.n_endpoints as usize);
+    let mut endpoints = Vec::with_capacity(config.n_endpoints as usize);
+    for e in 0..config.n_endpoints {
+        let endpoint_seed = stream_seed(config.master_seed, 2 * u64::from(e));
+        let mut dist_rng = runtime::stream_rng(config.master_seed, 2 * u64::from(e) + 1);
+        let (producer, consumer) = ring::spsc(config.ring_capacity);
+        feeds.push(EndpointFeed::new(
+            e,
+            producer,
+            config.distributor.clone(),
+            config.hysteresis,
+            endpoint_seed,
+            config.decision_period.as_nanos() as u64,
+            config.n_servers,
+            config.low_water,
+            config.refill_batch,
+            &mut dist_rng,
+        ));
+        endpoints.push(DecisionEndpoint::new(
+            e,
+            consumer,
+            endpoint_seed,
+            config.n_servers,
+        ));
+    }
+    (feeds, endpoints)
+}
+
+/// Single-threaded service: every lane behind one `&mut self`, refill
+/// interleaved by the caller. The measurement-grade configuration.
+pub struct ServiceCore {
+    feeds: Vec<EndpointFeed>,
+    endpoints: Vec<DecisionEndpoint>,
+    flushed: bool,
+}
+
+impl ServiceCore {
+    /// Builds all lanes (no slots drawn yet; call [`Self::pump_all`] or
+    /// [`Self::fill_all`] to pre-fill).
+    pub fn new(config: &ServeConfig) -> Self {
+        let (feeds, endpoints) = build_lanes(config);
+        ServiceCore {
+            feeds,
+            endpoints,
+            flushed: false,
+        }
+    }
+
+    /// Number of endpoints.
+    pub fn n_endpoints(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// One refill pass over every lane; returns total slots published.
+    pub fn pump_all(&mut self) -> usize {
+        self.feeds.iter_mut().map(|f| f.pump()).sum()
+    }
+
+    /// Fills every ring to capacity (ignoring low-water marks); returns
+    /// total slots published.
+    pub fn fill_all(&mut self) -> usize {
+        self.feeds
+            .iter_mut()
+            .map(|f| f.fill(usize::MAX))
+            .sum()
+    }
+
+    /// Answers one placement query on `endpoint`.
+    #[inline]
+    pub fn decide(&mut self, endpoint: usize, x: bool, y: bool) -> Placement {
+        self.endpoints[endpoint].decide(x, y)
+    }
+
+    /// Mutable access to one endpoint (bench harnesses time the
+    /// endpoint's `decide` directly to keep the indexing off the
+    /// measured path).
+    pub fn endpoint_mut(&mut self, endpoint: usize) -> &mut DecisionEndpoint {
+        &mut self.endpoints[endpoint]
+    }
+
+    /// Mutable access to one feed.
+    pub fn feed_mut(&mut self, endpoint: usize) -> &mut EndpointFeed {
+        &mut self.feeds[endpoint]
+    }
+
+    /// Aggregate counters.
+    pub fn summary(&self) -> ServiceSummary {
+        sum_stats(
+            self.endpoints.iter().map(|e| e.stats()),
+            self.feeds.iter().map(|f| f.stats()),
+        )
+    }
+
+    /// Flushes all counter deltas to obs. Safe to call repeatedly;
+    /// [`Self::finish`] guarantees it ran at least once.
+    pub fn flush_obs(&mut self) {
+        for e in &mut self.endpoints {
+            e.flush_obs();
+        }
+        for f in &mut self.feeds {
+            f.flush_obs();
+        }
+        self.flushed = true;
+    }
+
+    /// Graceful end-of-run: final flush (exactly once if the caller
+    /// never flushed manually) and the closing summary.
+    pub fn finish(mut self) -> ServiceSummary {
+        self.flush_obs();
+        self.summary()
+    }
+}
+
+impl Drop for ServiceCore {
+    fn drop(&mut self) {
+        if !self.flushed {
+            self.flush_obs();
+        }
+    }
+}
+
+/// Shared state between the pump thread and decision callers.
+struct ServiceShared {
+    endpoints: Vec<Mutex<DecisionEndpoint>>,
+    stop: AtomicBool,
+}
+
+/// Threaded service: a background thread owns every feed and keeps the
+/// rings topped up; callers decide through per-endpoint mutexes.
+pub struct Service {
+    shared: Arc<ServiceShared>,
+    pump: Option<std::thread::JoinHandle<Vec<EndpointFeed>>>,
+    summary: Option<ServiceSummary>,
+}
+
+impl Service {
+    /// Builds the lanes, pre-fills every ring synchronously (so the
+    /// first decision after `start` never races the pump thread), then
+    /// starts the refill thread.
+    pub fn start(config: &ServeConfig) -> Self {
+        let (mut feeds, endpoints) = build_lanes(config);
+        for f in &mut feeds {
+            f.fill(usize::MAX);
+        }
+        let shared = Arc::new(ServiceShared {
+            endpoints: endpoints.into_iter().map(Mutex::new).collect(),
+            stop: AtomicBool::new(false),
+        });
+        let pump_shared = Arc::clone(&shared);
+        let pump = std::thread::Builder::new()
+            .name("qnlg-serve-pump".into())
+            .spawn(move || {
+                while !pump_shared.stop.load(Ordering::Acquire) {
+                    let mut published = 0;
+                    for f in &mut feeds {
+                        published += f.pump();
+                    }
+                    if published == 0 {
+                        // Rings are healthy; yield the core instead of
+                        // spinning against the decision threads.
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                }
+                feeds
+            })
+            .expect("spawn pump thread");
+        Service {
+            shared,
+            pump: Some(pump),
+            summary: None,
+        }
+    }
+
+    /// Number of endpoints.
+    pub fn n_endpoints(&self) -> usize {
+        self.shared.endpoints.len()
+    }
+
+    /// Answers one placement query on `endpoint`. Locks that endpoint's
+    /// mutex (uncontended when each caller owns its endpoint).
+    pub fn decide(&self, endpoint: usize, x: bool, y: bool) -> Placement {
+        self.shared.endpoints[endpoint]
+            .lock()
+            .expect("endpoint lock")
+            .decide(x, y)
+    }
+
+    /// Graceful shutdown: stops and joins the pump thread, flushes every
+    /// counter delta to obs exactly once, and returns the aggregate
+    /// summary. Idempotent — later calls (including the implicit one in
+    /// `Drop`) return the same summary without re-flushing.
+    pub fn shutdown(&mut self) -> ServiceSummary {
+        if let Some(summary) = self.summary {
+            return summary;
+        }
+        self.shared.stop.store(true, Ordering::Release);
+        let mut feeds = match self.pump.take() {
+            Some(handle) => handle.join().expect("pump thread panicked"),
+            None => Vec::new(),
+        };
+        for f in &mut feeds {
+            f.flush_obs();
+        }
+        let mut endpoint_stats = Vec::with_capacity(self.shared.endpoints.len());
+        for slot in &self.shared.endpoints {
+            let mut e = slot.lock().expect("endpoint lock");
+            e.flush_obs();
+            endpoint_stats.push(e.stats());
+        }
+        let summary = sum_stats(endpoint_stats.into_iter(), feeds.iter().map(|f| f.stats()));
+        self.summary = Some(summary);
+        summary
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::TIER_QUANTUM;
+
+    fn small_config(seed: u64) -> ServeConfig {
+        ServeConfig {
+            n_servers: 16,
+            n_endpoints: 2,
+            ring_capacity: 256,
+            low_water: 64,
+            refill_batch: 128,
+            ..ServeConfig::typical(seed)
+        }
+    }
+
+    #[test]
+    fn core_answers_quantum_after_prefill() {
+        let mut core = ServiceCore::new(&small_config(7));
+        let filled = core.fill_all();
+        assert_eq!(filled, 2 * 256);
+        let p = core.decide(0, true, true);
+        assert!(p.first < 16 && p.second < 16);
+        assert_eq!(p.tier, TIER_QUANTUM, "healthy plane should serve quantum");
+        let s = core.finish();
+        assert_eq!(s.endpoints.decisions, 1);
+        assert_eq!(s.feeds.produced, 512);
+    }
+
+    #[test]
+    fn exhausted_core_degrades_inline_without_blocking() {
+        let mut core = ServiceCore::new(&small_config(8));
+        // No fill: every decision hits an empty ring.
+        for _ in 0..100 {
+            let p = core.decide(1, false, true);
+            assert!(p.first < 16 && p.second < 16);
+            assert_ne!(p.first, p.second, "inline fallback always splits");
+            assert_eq!(p.seq, u64::MAX);
+        }
+        let s = core.summary();
+        assert_eq!(s.endpoints.exhausted, 100);
+    }
+
+    #[test]
+    fn pump_respects_low_water_and_refills_after_drain() {
+        let mut core = ServiceCore::new(&small_config(9));
+        core.fill_all();
+        assert_eq!(core.pump_all(), 0, "full rings must not refill");
+        // Drain endpoint 0 below the low-water mark.
+        for _ in 0..200 {
+            core.decide(0, false, false);
+        }
+        let published = core.pump_all();
+        assert!(published > 0, "drained ring must refill");
+    }
+
+    #[test]
+    fn same_seed_cores_agree_slot_for_slot() {
+        let mut a = ServiceCore::new(&small_config(42));
+        let mut b = ServiceCore::new(&small_config(42));
+        a.fill_all();
+        b.fill_all();
+        for i in 0..256 {
+            let (x, y) = (i % 2 == 0, i % 3 == 0);
+            assert_eq!(a.decide(0, x, y), b.decide(0, x, y));
+            assert_eq!(a.decide(1, x, y), b.decide(1, x, y));
+        }
+    }
+
+    #[test]
+    fn threaded_service_serves_and_shuts_down_idempotently() {
+        let mut svc = Service::start(&small_config(5));
+        let mut decided = 0u64;
+        for i in 0..2000 {
+            let p = svc.decide(i % 2, i % 3 == 0, i % 5 == 0);
+            assert!(p.first < 16 && p.second < 16);
+            decided += 1;
+        }
+        let s1 = svc.shutdown();
+        assert_eq!(s1.endpoints.decisions, decided);
+        // In-flight pre-drawn slots are state, not losses: everything
+        // consumed was either a produced slot or an inline fallback.
+        assert!(s1.feeds.produced + s1.endpoints.exhausted >= decided);
+        let s2 = svc.shutdown();
+        assert_eq!(s1, s2, "shutdown must be idempotent");
+    }
+
+    #[test]
+    fn threaded_matches_core_decisions_same_seed() {
+        // The pump thread changes *when* slots are drawn, never *what*
+        // they contain: decisions must match the single-threaded core.
+        let config = small_config(11);
+        let mut core = ServiceCore::new(&config);
+        core.fill_all();
+        let svc = Service::start(&config);
+        // Stay within the synchronous prefill (256 slots) so the
+        // comparison never depends on pump-thread scheduling.
+        for i in 0..200 {
+            let (x, y) = (i % 2 == 0, i % 7 == 0);
+            let a = core.decide(0, x, y);
+            let b = svc.decide(0, x, y);
+            assert_eq!(a, b, "decision {i} diverged");
+        }
+    }
+}

@@ -26,6 +26,10 @@ pub enum Track {
     /// Repeater chain serving routed server pair `c` in a metro
     /// topology run (sim clock).
     Chain(u32),
+    /// Decision endpoint `e` of a long-lived `qnlg-serve` service
+    /// (sim clock: refill batches and governor transitions on the
+    /// endpoint's decision timeline).
+    Endpoint(u32),
 }
 
 /// Which endpoint of a two-QNIC distributor lane.

@@ -37,6 +37,7 @@ fn track_ids(track: Track) -> (u64, u64) {
             (PID_SIM, 1_000_000 + 4 * u64::from(lane) + s)
         }
         Track::Chain(c) => (PID_SIM, 2_000_000 + u64::from(c)),
+        Track::Endpoint(e) => (PID_SIM, 3_000_000 + u64::from(e)),
     }
 }
 
@@ -49,6 +50,7 @@ fn track_name(track: Track) -> String {
         Track::Qnic { lane, side } => format!("qnic-{lane}{}", side.name()),
         Track::Governor(g) => format!("governor-{g}"),
         Track::Chain(c) => format!("chain-{c}"),
+        Track::Endpoint(e) => format!("endpoint-{e}"),
     }
 }
 
@@ -61,7 +63,7 @@ fn track_lane(track: Track) -> Option<u32> {
         // A chain's pair ids are scoped by its own track (one chain per
         // routed server pair), so it doubles as the lane.
         Track::Chain(c) => Some(c),
-        Track::Main | Track::Worker(_) | Track::Governor(_) => None,
+        Track::Main | Track::Worker(_) | Track::Governor(_) | Track::Endpoint(_) => None,
     }
 }
 
